@@ -1,0 +1,41 @@
+//! Validates the paper's analytic cost model (Eqs. 5/12/20) against wall
+//! time: measured forward time across {L, H} settings should rank the same
+//! way the model ranks them.
+
+use adr_nn::conv::Conv2d;
+use adr_nn::{Layer, Mode};
+use adr_reuse::cost::{forward_cost, CostParams};
+use adr_reuse::{ReuseConfig, ReuseConv2d};
+use adr_tensor::im2col::ConvGeom;
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Tensor4;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    group.sample_size(10);
+    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+    let mut rng = AdrRng::seeded(1);
+    let dense = Conv2d::new("dense", geom, 64, &mut rng);
+    let mut xrng = AdrRng::seeded(2);
+    let x = Tensor4::from_fn(16, 15, 15, 64, |_, y, xx, cc| {
+        ((y / 3 + xx / 3 + cc / 8) % 5) as f32 * 0.3 - 0.6 + 0.05 * xrng.gauss()
+    });
+    for (l, h) in [(160usize, 6usize), (80, 8), (40, 10), (20, 12)] {
+        let mut reuse = ReuseConv2d::from_dense(&dense, ReuseConfig::new(l, h, false), &mut rng);
+        // Report the model's predicted relative cost in the bench id so the
+        // harness output can be compared against measured time directly.
+        reuse.forward(&x, Mode::Eval);
+        let rc = reuse.stats().avg_remaining_ratio;
+        let model = forward_cost(&CostParams { m: 64, l, h, rc, reuse_rate: 0.0 });
+        group.bench_with_input(
+            BenchmarkId::new("measured", format!("L{l}_H{h}_model{model:.3}")),
+            &x,
+            |b, x| b.iter(|| reuse.forward(x, Mode::Eval)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

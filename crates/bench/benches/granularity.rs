@@ -1,0 +1,33 @@
+//! The cluster-granularity trade-off (§III-B "Cluster Granularity"): a
+//! smaller L exposes more reuse but pays O(N·K/L·M) adds — this bench makes
+//! the U-shaped cost curve measurable.
+
+use adr_nn::conv::Conv2d;
+use adr_nn::{Layer, Mode};
+use adr_reuse::{ReuseConfig, ReuseConv2d};
+use adr_tensor::im2col::ConvGeom;
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Tensor4;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("granularity");
+    group.sample_size(10);
+    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+    let mut rng = AdrRng::seeded(1);
+    let dense = Conv2d::new("dense", geom, 64, &mut rng);
+    let mut xrng = AdrRng::seeded(2);
+    let x = Tensor4::from_fn(16, 15, 15, 64, |_, y, xx, cc| {
+        ((y / 2 + xx / 2 + cc / 4) % 6) as f32 * 0.25 - 0.6 + 0.03 * xrng.gauss()
+    });
+    for l in [1600usize, 400, 160, 80, 40, 20, 10, 5] {
+        let mut reuse = ReuseConv2d::from_dense(&dense, ReuseConfig::new(l, 8, false), &mut rng);
+        group.bench_with_input(BenchmarkId::new("forward", l), &x, |b, x| {
+            b.iter(|| reuse.forward(x, Mode::Eval))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granularity);
+criterion_main!(benches);

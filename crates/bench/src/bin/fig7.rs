@@ -1,0 +1,36 @@
+//! Regenerates Fig. 7: r_c–accuracy of k-means clustering on CifarNet conv1
+//! and AlexNet conv3, at single-input and single-batch scope.
+
+use adr_bench::experiments::fig7;
+use adr_bench::harness::{print_table, write_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Fig. 7 — k-means r_c vs accuracy (verification of neuron-vector similarity)\n");
+    let rows = fig7(quick);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.to_string(),
+                r.layer.to_string(),
+                r.scope.to_string(),
+                r.k.to_string(),
+                format!("{:.4}", r.rc),
+                format!("{:.3}", r.accuracy),
+                format!("{:.3}", r.baseline_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        &["network", "layer", "scope", "k", "rc", "accuracy", "orig_accuracy"],
+        &table,
+    );
+    let csv_path = format!("results/fig7.csv");
+    match write_csv(&csv_path, &["network", "layer", "scope", "k", "rc", "accuracy", "orig_accuracy"], &table) {
+        Ok(()) => println!("\n(rows also written to {csv_path})"),
+        Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
+    }
+    println!("\nExpected shape (paper): accuracy recovers the original with r_c well below 1;");
+    println!("single-batch scope recovers it at smaller r_c than single-input scope.");
+}

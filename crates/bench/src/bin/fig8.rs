@@ -1,0 +1,33 @@
+//! Regenerates Fig. 8: r_c–accuracy of LSH clustering on conv2 of CifarNet,
+//! AlexNet and VGG-19. Curves = sub-vector length L, dots = hash count H.
+
+use adr_bench::experiments::fig8;
+use adr_bench::harness::{print_table, write_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Fig. 8 — LSH r_c vs accuracy per sub-vector length (L) and hash count (H)\n");
+    let rows = fig8(quick);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.to_string(),
+                r.layer.to_string(),
+                r.l.to_string(),
+                r.h.to_string(),
+                format!("{:.4}", r.rc),
+                format!("{:.3}", r.accuracy),
+                format!("{:.3}", r.baseline_accuracy),
+            ]
+        })
+        .collect();
+    print_table(&["network", "layer", "L", "H", "rc", "accuracy", "orig_accuracy"], &table);
+    let csv_path = format!("results/fig8.csv");
+    match write_csv(&csv_path, &["network", "layer", "L", "H", "rc", "accuracy", "orig_accuracy"], &table) {
+        Ok(()) => println!("\n(rows also written to {csv_path})"),
+        Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
+    }
+    println!("\nExpected shape (paper): at equal r_c, smaller L gives higher accuracy;");
+    println!("for fixed L, more hashes H raise both accuracy and r_c.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates the §VI-B1 observation: with cluster reuse on, the per-batch
+//! reuse rate R climbs towards ~1 within a couple dozen batches.
+
+use adr_bench::experiments::reuse_rate_growth;
+use adr_bench::harness::{print_table, write_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Reuse-rate growth over batches (CifarNet conv1, CR = 1)\n");
+    let rows = reuse_rate_growth(quick);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.batch.to_string(), format!("{:.3}", r.reuse_rate)])
+        .collect();
+    print_table(&["batch", "reuse rate R"], &table);
+    let csv_path = format!("results/reuse_rate.csv");
+    match write_csv(&csv_path, &["batch", "reuse rate R"], &table) {
+        Ok(()) => println!("\n(rows also written to {csv_path})"),
+        Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
+    }
+    println!("\nExpected shape (paper): R rises from 0 towards ~0.98 after ~20 batches.");
+}

@@ -1,0 +1,50 @@
+use adr_bench::harness::{synth_for, DatasetSource};
+use adr_core::trainer::BatchSource;
+use adr_models::{cifarnet, ConvMode};
+use adr_nn::{LrSchedule, Sgd};
+use adr_reuse::ReuseConfig;
+use adr_tensor::rng::AdrRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = AdrRng::seeded(42);
+    let dataset = synth_for((16, 16, 3), 96, 10, &mut rng);
+    let mut source = DatasetSource::new(dataset, 16, 16);
+    for (label, mode) in [
+        ("dense", ConvMode::Dense),
+        ("reuse(5,13)", ConvMode::Reuse(ReuseConfig::new(5, 13, false))),
+        ("reuse(10,10)", ConvMode::Reuse(ReuseConfig::new(10, 10, false))),
+        ("reuse(20,8)", ConvMode::Reuse(ReuseConfig::new(20, 8, false))),
+        ("reuse(40,6)", ConvMode::Reuse(ReuseConfig::new(40, 6, false))),
+    ] {
+        let mut r = AdrRng::seeded(9);
+        let mut net = cifarnet::bench_scale(10, mode, &mut r);
+        let mut sgd = Sgd::new(LrSchedule::Constant(0.001), 0.9, 0.0);
+        let (x, y) = source.batch(0);
+        // warm up
+        for _ in 0..3 { net.train_batch(&x, &y, &mut sgd); }
+        net.reset_flops();
+        let t = Instant::now();
+        let reps = 15;
+        for _ in 0..reps { net.train_batch(&x, &y, &mut sgd); }
+        let el = t.elapsed() / reps;
+        let f = net.flops();
+        let b = net.baseline_flops();
+        println!("{label:<14} step {el:?} fwd_flops {:.2}x bwd_flops {:.2}x",
+            f.forward as f64 / b.forward.max(1) as f64,
+            f.backward as f64 / b.backward.max(1) as f64);
+    }
+    // forward-only timing
+    for (label, mode) in [
+        ("dense", ConvMode::Dense),
+        ("reuse(5,13)", ConvMode::Reuse(ReuseConfig::new(5, 13, false))),
+    ] {
+        let mut r = AdrRng::seeded(9);
+        let mut net = cifarnet::bench_scale(10, mode, &mut r);
+        let (x, _) = source.batch(0);
+        for _ in 0..3 { net.forward(&x, adr_nn::Mode::Eval); }
+        let t = Instant::now();
+        for _ in 0..15 { net.forward(&x, adr_nn::Mode::Eval); }
+        println!("{label:<14} forward-only {:?}", t.elapsed() / 15);
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table III: CifarNet inference accuracy with cluster reuse
+//! off (CR = 0) vs on (CR = 1) for the per-layer optimal {L, H}.
+
+use adr_bench::experiments::table3;
+use adr_bench::harness::{print_table, write_csv};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("Table III — accuracy with and without cluster reuse\n");
+    let rows = table3(quick);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.layer.to_string(),
+                r.l.to_string(),
+                r.h.to_string(),
+                format!("{:.3}", r.acc_cr0),
+                format!("{:.3}", r.acc_cr1),
+                format!("{:.3}", r.reuse_rate),
+            ]
+        })
+        .collect();
+    print_table(&["layer", "L", "H", "acc CR=0", "acc CR=1", "reuse rate R"], &table);
+    let csv_path = format!("results/table3.csv");
+    match write_csv(&csv_path, &["layer", "L", "H", "acc CR=0", "acc CR=1", "reuse rate R"], &table) {
+        Ok(()) => println!("\n(rows also written to {csv_path})"),
+        Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
+    }
+    println!("\nExpected shape (paper): CR=1 trades a small accuracy drop for a high");
+    println!("reuse rate that removes most centroid computations in later batches.");
+}

@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment lives in [`experiments`] as a pure function returning
+//! structured rows; the `src/bin/*.rs` binaries are thin wrappers that print
+//! the rows as aligned tables/CSV. [`harness`] holds the shared plumbing:
+//! dataset-backed [`adr_core::BatchSource`] adapters, model training to a
+//! checkpoint, layer surgery (swapping a dense conv for a reuse conv), and
+//! the k-means reference forward used by the Fig. 7 verification.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig7` | Fig. 7 — k-means r_c–accuracy, single-input vs single-batch |
+//! | `fig8` | Fig. 8 — LSH r_c–accuracy per sub-vector length and H |
+//! | `table3` | Table III — accuracy with/without cluster reuse |
+//! | `table4` | Table IV + §VI-B2 — training-time savings of strategies 1–3 |
+//! | `reuse_rate` | §VI-B1 — reuse rate R growth over batches |
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,238 @@
+//! k-means++ clustering.
+//!
+//! Used exactly the way the paper uses it (§VI-A): as a slow, high-quality
+//! clustering that verifies neuron-vector similarity exists and exposes the
+//! full reuse potential (the r_c–accuracy curves of Fig. 7). The production
+//! path uses [`crate::lsh`] instead.
+
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Matrix;
+
+use crate::assign::ClusterTable;
+
+/// Configuration for a k-means run.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters `k` requested. The effective number may be lower
+    /// if the data has fewer distinct rows.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Relative centroid-movement threshold below which iteration stops.
+    pub tolerance: f32,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 25, tolerance: 1e-4 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Row→cluster table (dense, no empty clusters).
+    pub table: ClusterTable,
+    /// Final `|C| × L` centroids.
+    pub centroids: Matrix,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means++ on the rows of `data`.
+///
+/// Empty clusters that appear during Lloyd iterations are dropped, so the
+/// result always satisfies the [`ClusterTable`] invariants.
+///
+/// # Panics
+/// Panics if `data` has no rows or `config.k == 0`.
+#[allow(clippy::needless_range_loop)] // rows index `data`, `d2` and `assignments` in parallel
+pub fn kmeans(data: &Matrix, config: &KMeansConfig, rng: &mut AdrRng) -> KMeansResult {
+    let n = data.rows();
+    assert!(n > 0, "kmeans on empty data");
+    assert!(config.k > 0, "kmeans with k == 0");
+    let k = config.k.min(n);
+    let l = data.cols();
+
+    // k-means++ seeding: first centre uniform, then proportional to D².
+    let mut centres: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centres.push(data.row(rng.below(n)).to_vec());
+    let mut d2: Vec<f32> = (0..n).map(|r| sq_dist(data.row(r), &centres[0])).collect();
+    while centres.len() < k {
+        let total: f32 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            // All points coincide with existing centres; further centres
+            // would be duplicates — stop early.
+            break;
+        } else {
+            let mut target = rng.uniform() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        let new_centre = data.row(idx).to_vec();
+        for r in 0..n {
+            let d = sq_dist(data.row(r), &new_centre);
+            if d < d2[r] {
+                d2[r] = d;
+            }
+        }
+        centres.push(new_centre);
+    }
+
+    let mut assignments = vec![0u32; n];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for r in 0..n {
+            let row = data.row(r);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centre) in centres.iter().enumerate() {
+                let d = sq_dist(row, centre);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[r] != best as u32 {
+                assignments[r] = best as u32;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; l]; centres.len()];
+        let mut counts = vec![0usize; centres.len()];
+        for r in 0..n {
+            let c = assignments[r] as usize;
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(data.row(r)) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0f32;
+        for (c, centre) in centres.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue; // empty cluster handled after the loop
+            }
+            let inv = 1.0 / counts[c] as f32;
+            let mut moved = 0.0;
+            for (cv, s) in centre.iter_mut().zip(sums[c].iter()) {
+                let new = s * inv;
+                moved += (new - *cv) * (new - *cv);
+                *cv = new;
+            }
+            movement = movement.max(moved.sqrt());
+        }
+        if !changed || movement < config.tolerance {
+            break;
+        }
+    }
+
+    // Densify: drop empty clusters (possible after Lloyd updates).
+    let table = ClusterTable::from_sparse_ids(&assignments);
+    let centroids = table.centroids(data);
+    KMeansResult { table, centroids, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight blobs far apart.
+    fn two_blobs(rng: &mut AdrRng) -> Matrix {
+        Matrix::from_fn(40, 3, |r, _| {
+            let centre = if r < 20 { -10.0 } else { 10.0 };
+            centre + rng.gauss() * 0.1
+        })
+    }
+
+    #[test]
+    fn separable_blobs_are_found() {
+        let mut rng = AdrRng::seeded(1);
+        let data = two_blobs(&mut rng);
+        let res = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+        assert_eq!(res.table.num_clusters(), 2);
+        // All first-half rows share a cluster; all second-half rows the other.
+        let c0 = res.table.cluster_of(0);
+        for r in 0..20 {
+            assert_eq!(res.table.cluster_of(r), c0);
+        }
+        let c1 = res.table.cluster_of(20);
+        assert_ne!(c0, c1);
+        for r in 20..40 {
+            assert_eq!(res.table.cluster_of(r), c1);
+        }
+    }
+
+    #[test]
+    fn centroids_land_on_blob_centres() {
+        let mut rng = AdrRng::seeded(2);
+        let data = two_blobs(&mut rng);
+        let res = kmeans(&data, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+        let mut centres: Vec<f32> = (0..2).map(|c| res.centroids.row(c)[0]).collect();
+        centres.sort_by(f32::total_cmp);
+        assert!((centres[0] + 10.0).abs() < 0.5);
+        assert!((centres[1] - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_rows_is_clamped() {
+        let mut rng = AdrRng::seeded(3);
+        let data = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let res = kmeans(&data, &KMeansConfig { k: 10, ..Default::default() }, &mut rng);
+        assert!(res.table.num_clusters() <= 3);
+        res.table.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_rows_collapse() {
+        let mut rng = AdrRng::seeded(4);
+        let data = Matrix::filled(20, 4, 1.5);
+        let res = kmeans(&data, &KMeansConfig { k: 5, ..Default::default() }, &mut rng);
+        assert_eq!(res.table.num_clusters(), 1);
+        assert!((res.table.remaining_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_is_deterministic_per_seed() {
+        let data = {
+            let mut rng = AdrRng::seeded(5);
+            Matrix::from_fn(30, 4, |_, _| rng.gauss())
+        };
+        let cfg = KMeansConfig { k: 4, ..Default::default() };
+        let a = kmeans(&data, &cfg, &mut AdrRng::seeded(7));
+        let b = kmeans(&data, &cfg, &mut AdrRng::seeded(7));
+        assert_eq!(a.table, b.table);
+    }
+
+    #[test]
+    fn more_clusters_reduce_quantisation_error() {
+        let mut rng = AdrRng::seeded(6);
+        let data = Matrix::from_fn(100, 2, |_, _| rng.gauss());
+        let err = |k: usize, rng: &mut AdrRng| {
+            let res = kmeans(&data, &KMeansConfig { k, max_iters: 40, ..Default::default() }, rng);
+            let mut e = 0.0f32;
+            for r in 0..data.rows() {
+                let c = res.table.cluster_of(r) as usize;
+                e += sq_dist(data.row(r), res.centroids.row(c));
+            }
+            e
+        };
+        let e2 = err(2, &mut rng);
+        let e16 = err(16, &mut rng);
+        assert!(e16 < e2, "e16 {e16} vs e2 {e2}");
+    }
+}

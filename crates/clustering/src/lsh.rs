@@ -1,0 +1,306 @@
+//! Random-hyperplane LSH (Eq. 4 of the paper).
+//!
+//! `H` random hyperplanes turn a length-`L` neuron vector into an `H`-bit
+//! signature: bit `h` is 1 iff `v_h · x > 0`. Vectors at small angular
+//! distance collide with high probability, so equal signatures form
+//! clusters. Because `sign(v·x) = sign(v·x̂)`, hashing raw vectors is
+//! equivalent to hashing the normalised vectors the paper's similarity
+//! metric prescribes.
+
+use adr_tensor::matrix::{dot, Matrix};
+use adr_tensor::par::matmul_range_t_b_par;
+use adr_tensor::rng::AdrRng;
+
+use crate::assign::ClusterTable;
+use crate::hasher::SignatureMap;
+
+/// A family of `H ≤ 64` random hyperplanes hashing length-`L` vectors.
+///
+/// The family is sampled once and kept fixed — the across-batch cluster
+/// reuse of Algorithm 1 requires the *same* family for all batches (§III-B
+/// "Cluster Scope").
+#[derive(Clone, Debug)]
+pub struct LshTable {
+    /// `H × L` hyperplane matrix; row `h` is the normal of hyperplane `h`.
+    hyperplanes: Matrix,
+}
+
+impl LshTable {
+    /// Samples `num_hashes` Gaussian hyperplanes for vectors of `dim`
+    /// elements.
+    ///
+    /// # Panics
+    /// Panics if `num_hashes == 0 || num_hashes > 64` or `dim == 0`
+    /// (signatures are packed in a `u64`; the paper's Policy 2 bounds
+    /// `H < log2 N`, far below 64 in practice).
+    pub fn new(dim: usize, num_hashes: usize, rng: &mut AdrRng) -> Self {
+        assert!(
+            (1..=64).contains(&num_hashes),
+            "num_hashes must be in 1..=64, got {num_hashes}"
+        );
+        assert!(dim > 0, "dim must be positive");
+        let mut hyperplanes = Matrix::zeros(num_hashes, dim);
+        rng.fill_gauss(hyperplanes.as_mut_slice());
+        Self { hyperplanes }
+    }
+
+    /// Vector length `L` this table hashes.
+    pub fn dim(&self) -> usize {
+        self.hyperplanes.cols()
+    }
+
+    /// Number of hash functions `H`.
+    pub fn num_hashes(&self) -> usize {
+        self.hyperplanes.rows()
+    }
+
+    /// Hashes one vector to its `H`-bit signature.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim()`.
+    pub fn signature(&self, x: &[f32]) -> u64 {
+        assert_eq!(x.len(), self.dim(), "signature: vector length mismatch");
+        let mut sig = 0u64;
+        for h in 0..self.num_hashes() {
+            // Eq. 4: h_v(x) = 1 if v·x > 0 else 0.
+            if dot(self.hyperplanes.row(h), x) > 0.0 {
+                sig |= 1 << h;
+            }
+        }
+        sig
+    }
+
+    /// Hashes every row of `data`, returning per-row signatures.
+    ///
+    /// Large batches are projected with one blocked parallel GEMM
+    /// (`data · Pᵀ`), then sign-packed; tiny batches fall back to per-row
+    /// dot products to avoid GEMM setup costs. The two paths may round
+    /// differently for projections that are exactly at the hyperplane, but
+    /// Eq. 4 only looks at signs, so agreement holds for any vector not on
+    /// a hyperplane (probability 1 for continuous data).
+    pub fn signatures(&self, data: &Matrix) -> Vec<u64> {
+        assert_eq!(data.cols(), self.dim(), "signatures: column count mismatch");
+        self.signatures_range(data, 0)
+    }
+
+    /// Hashes the column window `[start, start + L)` of every row of `data`
+    /// without copying the sub-matrix out — the hot path of the sub-vector
+    /// forward pass.
+    ///
+    /// # Panics
+    /// Panics when the window exceeds `data`'s width.
+    pub fn signatures_range(&self, data: &Matrix, start: usize) -> Vec<u64> {
+        let n = data.rows();
+        let end = start + self.dim();
+        assert!(end <= data.cols(), "signature window out of bounds");
+        if n < 64 {
+            return (0..n)
+                .map(|r| self.signature(&data.row(r)[start..end]))
+                .collect();
+        }
+        let proj = matmul_range_t_b_par(data, (start, end), &self.hyperplanes);
+        let h = self.num_hashes();
+        let mut sigs = Vec::with_capacity(n);
+        for r in 0..n {
+            let row = proj.row(r);
+            let mut sig = 0u64;
+            for (bit, &v) in row.iter().enumerate().take(h) {
+                if v > 0.0 {
+                    sig |= 1 << bit;
+                }
+            }
+            sigs.push(sig);
+        }
+        sigs
+    }
+
+    /// Borrows the `H × L` hyperplane matrix (row `h` = hyperplane `h`).
+    ///
+    /// Exposed so callers that hash many sub-matrices can pack several
+    /// families into one streaming pass (see `adr-reuse`).
+    pub fn hyperplanes(&self) -> &Matrix {
+        &self.hyperplanes
+    }
+
+    /// Clusters the rows of `data` by signature equality.
+    ///
+    /// Returns the dense [`ClusterTable`] plus, for each cluster, the
+    /// signature that formed it (needed by the across-batch reuse cache).
+    pub fn cluster(&self, data: &Matrix) -> (ClusterTable, Vec<u64>) {
+        assert_eq!(data.cols(), self.dim(), "cluster: column count mismatch");
+        self.cluster_range(data, 0)
+    }
+
+    /// [`LshTable::cluster`] over the column window `[start, start + L)`
+    /// of `data`, avoiding the sub-matrix copy.
+    pub fn cluster_range(&self, data: &Matrix, start: usize) -> (ClusterTable, Vec<u64>) {
+        cluster_from_signatures(self.signatures_range(data, start).iter().copied())
+    }
+
+    /// Multiply–adds needed to hash `n` rows: `n · L · H` (the paper's
+    /// hashing overhead term `N·K·H` summed over sub-matrices).
+    pub fn hashing_flops(&self, n: usize) -> u64 {
+        (n * self.dim() * self.num_hashes()) as u64
+    }
+}
+
+/// Groups a signature stream into a dense [`ClusterTable`]: equal
+/// signatures share a cluster, ids assigned in first-appearance order.
+/// Returns the table plus the forming signature of each cluster.
+pub fn cluster_from_signatures(sigs: impl Iterator<Item = u64>) -> (ClusterTable, Vec<u64>) {
+    let mut map: SignatureMap<u32> = SignatureMap::default();
+    let mut assignments = Vec::new();
+    let mut cluster_sigs = Vec::new();
+    for s in sigs {
+        let next = map.len() as u32;
+        let id = *map.entry(s).or_insert_with(|| {
+            cluster_sigs.push(s);
+            next
+        });
+        assignments.push(id);
+    }
+    (ClusterTable::new(assignments), cluster_sigs)
+}
+
+/// [`cluster_from_signatures`] specialised for signatures known to fit in
+/// `sig_bits` bits: uses a direct-index table instead of a hash map, which
+/// is several times faster on the reuse hot path where `H ≤ 16`.
+///
+/// Falls back to the hash-map path for wider signatures.
+///
+/// # Panics
+/// Panics (in debug builds) if a signature exceeds `sig_bits`.
+pub fn cluster_from_signatures_with_bits(
+    sigs: impl ExactSizeIterator<Item = u64>,
+    sig_bits: usize,
+) -> (ClusterTable, Vec<u64>) {
+    // The LUT pays 2^bits of zeroing up front; only profitable while that
+    // stays proportionate to the number of rows being clustered.
+    if sig_bits > 16 || (1usize << sig_bits) > 4 * sigs.len().max(1) {
+        return cluster_from_signatures(sigs);
+    }
+    const UNSEEN: u32 = u32::MAX;
+    let mut lut = vec![UNSEEN; 1usize << sig_bits];
+    let mut assignments = Vec::new();
+    let mut cluster_sigs = Vec::new();
+    for s in sigs {
+        debug_assert!((s as usize) < lut.len(), "signature wider than sig_bits");
+        let slot = &mut lut[s as usize];
+        if *slot == UNSEEN {
+            *slot = cluster_sigs.len() as u32;
+            cluster_sigs.push(s);
+        }
+        assignments.push(*slot);
+    }
+    (ClusterTable::new(assignments), cluster_sigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(dim: usize, h: usize, seed: u64) -> LshTable {
+        LshTable::new(dim, h, &mut AdrRng::seeded(seed))
+    }
+
+    #[test]
+    fn identical_vectors_share_signatures() {
+        let t = table(8, 16, 1);
+        let v: Vec<f32> = (0..8).map(|i| i as f32 - 3.5).collect();
+        assert_eq!(t.signature(&v), t.signature(&v));
+    }
+
+    #[test]
+    fn scaled_vectors_share_signatures() {
+        // Sign random projections are scale-invariant.
+        let t = table(8, 16, 2);
+        let v: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
+        let scaled: Vec<f32> = v.iter().map(|x| x * 37.5).collect();
+        assert_eq!(t.signature(&v), t.signature(&scaled));
+    }
+
+    #[test]
+    fn opposite_vectors_get_complementary_bits() {
+        let t = table(4, 8, 3);
+        let v = [1.0, -2.0, 0.5, 3.0];
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        let s1 = t.signature(&v);
+        let s2 = t.signature(&neg);
+        // With probability 1 no projection is exactly zero, so bits flip.
+        let mask = (1u64 << 8) - 1;
+        assert_eq!(s1 ^ s2, mask);
+    }
+
+    #[test]
+    fn nearby_vectors_collide_more_than_distant_ones() {
+        let t = table(16, 20, 4);
+        let mut rng = AdrRng::seeded(99);
+        let base: Vec<f32> = (0..16).map(|_| rng.gauss()).collect();
+        let near: Vec<f32> = base.iter().map(|x| x + 0.01 * x.signum()).collect();
+        let far: Vec<f32> = (0..16).map(|_| rng.gauss()).collect();
+        let sb = t.signature(&base);
+        let sn = t.signature(&near);
+        let sf = t.signature(&far);
+        let near_diff = (sb ^ sn).count_ones();
+        let far_diff = (sb ^ sf).count_ones();
+        assert!(near_diff < far_diff, "near {near_diff} vs far {far_diff}");
+    }
+
+    #[test]
+    fn more_hashes_give_finer_clusters() {
+        let mut rng = AdrRng::seeded(5);
+        let data = Matrix::from_fn(200, 8, |_, _| rng.gauss());
+        let coarse = table(8, 2, 6).cluster(&data).0.num_clusters();
+        let fine = table(8, 20, 6).cluster(&data).0.num_clusters();
+        assert!(fine > coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn cluster_assigns_equal_rows_together() {
+        let mut data = Matrix::zeros(4, 6);
+        for r in 0..4 {
+            for c in 0..6 {
+                // rows 0 and 2 identical; rows 1 and 3 identical.
+                data[(r, c)] = ((r % 2) * 10 + c) as f32 + 1.0;
+            }
+        }
+        let (tab, sigs) = table(6, 12, 7).cluster(&data);
+        assert_eq!(tab.cluster_of(0), tab.cluster_of(2));
+        assert_eq!(tab.cluster_of(1), tab.cluster_of(3));
+        assert_eq!(sigs.len(), tab.num_clusters());
+        tab.validate().unwrap();
+    }
+
+    #[test]
+    fn signature_count_matches_cluster_count() {
+        let mut rng = AdrRng::seeded(8);
+        let data = Matrix::from_fn(64, 4, |_, _| rng.gauss());
+        let (tab, sigs) = table(4, 10, 9).cluster(&data);
+        assert_eq!(sigs.len(), tab.num_clusters());
+        // Signatures listed per cluster must be unique.
+        let mut uniq = sigs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), sigs.len());
+    }
+
+    #[test]
+    fn hashing_flops_formula() {
+        let t = table(10, 5, 10);
+        assert_eq!(t.hashing_flops(100), 100 * 10 * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_hashes must be in")]
+    fn too_many_hashes_panics() {
+        table(4, 65, 11);
+    }
+
+    #[test]
+    fn same_seed_same_family() {
+        let a = table(8, 8, 42);
+        let b = table(8, 8, 42);
+        let v: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).cos()).collect();
+        assert_eq!(a.signature(&v), b.signature(&v));
+    }
+}

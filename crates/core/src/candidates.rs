@@ -1,0 +1,146 @@
+//! Candidate `{L, H}` scheduling (Policy 3, §V-A(b)).
+//!
+//! Given the descending `[L]` list and ascending `[H]` list of a layer, the
+//! schedule starts at the most aggressive setting `{Lmax, Hmin}` and walks to
+//! the most precise `{Lmin, Hmax}`. At each step it may either shrink `L`
+//! (finer granularity, cost `ΔE = 1/L₂ − 1/L₁`, Eq. 22) or grow `H` (more
+//! hashes, cost `ΔE = (H₂ − H₁)/M`, Eq. 23); Policy 3 always takes the move
+//! with the smaller expected-time increase. The construction is offline; the
+//! controller walks the list at runtime.
+
+use adr_reuse::cost::{delta_e_h, delta_e_l};
+
+use crate::policy::{HRange, LRange};
+
+/// One `{L, H}` setting.
+pub type Setting = (usize, usize);
+
+/// The ordered candidate schedule of one layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CandidateList {
+    settings: Vec<Setting>,
+}
+
+impl CandidateList {
+    /// Builds the Policy-3 ordering for a layer with `m` weight filters.
+    ///
+    /// # Panics
+    /// Panics if either range is empty or `m == 0`.
+    pub fn build(l_range: &LRange, h_range: &HRange, m: usize) -> Self {
+        assert!(m > 0, "M must be positive");
+        let ls = l_range.values();
+        let hs = h_range.values();
+        assert!(!ls.is_empty() && !hs.is_empty(), "empty parameter ranges");
+        let mut settings = Vec::with_capacity(ls.len() + hs.len() - 1);
+        let (mut i, mut j) = (0usize, 0usize);
+        settings.push((ls[0], hs[0]));
+        while i + 1 < ls.len() || j + 1 < hs.len() {
+            let l_step = (i + 1 < ls.len()).then(|| delta_e_l(ls[i], ls[i + 1]));
+            let h_step = (j + 1 < hs.len()).then(|| delta_e_h(hs[j], hs[j + 1], m));
+            match (l_step, h_step) {
+                (Some(dl), Some(dh)) if dl <= dh => i += 1,
+                (Some(_), Some(_)) => j += 1,
+                (Some(_), None) => i += 1,
+                (None, Some(_)) => j += 1,
+                (None, None) => unreachable!("loop condition guarantees a step exists"),
+            }
+            settings.push((ls[i], hs[j]));
+        }
+        Self { settings }
+    }
+
+    /// The ordered settings, most aggressive first.
+    pub fn settings(&self) -> &[Setting] {
+        &self.settings
+    }
+
+    /// Number of settings.
+    pub fn len(&self) -> usize {
+        self.settings.len()
+    }
+
+    /// Whether the list is empty (never true for a built list).
+    pub fn is_empty(&self) -> bool {
+        self.settings.is_empty()
+    }
+
+    /// Setting at `index`, clamped to the last entry.
+    pub fn get_clamped(&self, index: usize) -> Setting {
+        self.settings[index.min(self.settings.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranges(kw: usize, ic: usize, n: usize) -> (LRange, HRange) {
+        (LRange::from_geometry(kw, ic, true), HRange::from_rows(n, 8))
+    }
+
+    #[test]
+    fn starts_aggressive_ends_precise() {
+        let (lr, hr) = ranges(5, 64, 50_000);
+        let c = CandidateList::build(&lr, &hr, 64);
+        assert_eq!(*c.settings().first().unwrap(), (lr.max(), hr.min()));
+        assert_eq!(*c.settings().last().unwrap(), (lr.min(), hr.max()));
+    }
+
+    #[test]
+    fn covers_the_whole_lattice_path() {
+        let (lr, hr) = ranges(5, 64, 50_000);
+        let c = CandidateList::build(&lr, &hr, 64);
+        assert_eq!(c.len(), lr.values().len() + hr.values().len() - 1);
+        // Each consecutive pair differs in exactly one coordinate, moving
+        // monotonically (L never grows, H never shrinks).
+        for w in c.settings().windows(2) {
+            let (l1, h1) = w[0];
+            let (l2, h2) = w[1];
+            let l_moved = l1 != l2;
+            let h_moved = h1 != h2;
+            assert!(l_moved ^ h_moved, "exactly one knob per step");
+            assert!(l2 <= l1 && h2 >= h1, "monotone walk");
+        }
+    }
+
+    #[test]
+    fn prefers_cheaper_move_first() {
+        // With a huge M, growing H is nearly free, so H steps come first.
+        let (lr, hr) = ranges(5, 64, 50_000);
+        let c = CandidateList::build(&lr, &hr, 1_000_000);
+        let (l0, _h0) = c.settings()[0];
+        let (l1, h1) = c.settings()[1];
+        assert_eq!(l1, l0, "L untouched while H steps are cheap");
+        assert!(h1 > hr.min());
+    }
+
+    #[test]
+    fn prefers_l_steps_when_m_is_tiny() {
+        // With tiny M, every H step is expensive; early steps shrink L when
+        // that costs less.
+        let (lr, hr) = ranges(5, 256, 50_000);
+        let c = CandidateList::build(&lr, &hr, 1);
+        let (l1, h1) = c.settings()[1];
+        // First move must be the cheaper one; for M = 1 an H step costs ≥ 1
+        // while an L step from 80 to 75 costs 1/75 − 1/80 ≈ tiny.
+        assert!(l1 < lr.max());
+        assert_eq!(h1, hr.min());
+    }
+
+    #[test]
+    fn single_value_ranges_degenerate_gracefully() {
+        let lr = LRange::from_geometry(3, 1, false); // single L
+        let hr = HRange::from_rows(4, 1); // single H
+        let c = CandidateList::build(&lr, &hr, 16);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get_clamped(99), c.settings()[0]);
+    }
+
+    #[test]
+    fn get_clamped_saturates() {
+        let (lr, hr) = ranges(5, 16, 10_000);
+        let c = CandidateList::build(&lr, &hr, 64);
+        assert_eq!(c.get_clamped(usize::MAX), *c.settings().last().unwrap());
+        assert_eq!(c.get_clamped(0), c.settings()[0]);
+    }
+}

@@ -1,0 +1,348 @@
+//! The runtime adaptive controller (§V-A(b,c)).
+//!
+//! Strategy 2's engine: every reuse layer gets a Policy-3 candidate list;
+//! training proceeds with the current stage until the loss plateaus; the
+//! controller then probes later stages on a held-out batch and accepts the
+//! first that passes Amendments 3.1/3.2, falling back to the relaxed
+//! Amendment 3.3 ratio test. When every layer has reached its most precise
+//! setting the controller reports exhaustion and training continues there.
+
+use adr_nn::metrics::PlateauDetector;
+use adr_nn::{Network, Sgd};
+use adr_reuse::{ReuseConfig, ReuseConv2d};
+use adr_tensor::Tensor4;
+
+use crate::candidates::CandidateList;
+use crate::policy::{HRange, LRange};
+
+/// Candidate schedule for one reuse layer inside a network.
+#[derive(Clone, Debug)]
+pub struct LayerPlan {
+    /// Index of the layer in the network's layer stack.
+    pub layer_index: usize,
+    /// The layer's Policy-3 schedule.
+    pub candidates: CandidateList,
+}
+
+/// Outcome of an [`AdaptiveController::advance`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdvanceOutcome {
+    /// Switched to stage `stage`; training continues.
+    Switched {
+        /// The new global stage index.
+        stage: usize,
+        /// Which amendment accepted it (1 = 3.1/3.2, 3 = 3.3 fallback,
+        /// 0 = forced single-step progress).
+        rule: u8,
+    },
+    /// All layers are already at their most precise setting.
+    Exhausted,
+}
+
+/// Drives per-layer `{L, H}` schedules through a training run.
+pub struct AdaptiveController {
+    plans: Vec<LayerPlan>,
+    stage: usize,
+    max_stage: usize,
+    plateau: PlateauDetector,
+    cluster_reuse: bool,
+}
+
+impl AdaptiveController {
+    /// Builds a controller for every [`ReuseConv2d`] in `net`, deriving
+    /// ranges from layer geometry (Policies 1/2) and applying the initial
+    /// (most aggressive) stage immediately.
+    ///
+    /// * `batch_size` — training batch size `Nb`, needed for `N` in Policy 2.
+    /// * `max_h_values` — cap on distinct `H` candidates per layer.
+    /// * `patience`/`min_delta` — plateau detection (§V-A(c)).
+    /// * `warmup` — observations after each switch during which the plateau
+    ///   detector stays quiet (early-phase loss is noise, not a plateau).
+    /// * `cluster_reuse` — whether layers should run with `CR = 1`.
+    ///
+    /// # Panics
+    /// Panics if the network contains no reuse layers.
+    pub fn for_network(
+        net: &mut Network,
+        batch_size: usize,
+        max_h_values: usize,
+        patience: usize,
+        min_delta: f32,
+        warmup: usize,
+        cluster_reuse: bool,
+    ) -> Self {
+        let mut plans = Vec::new();
+        let mut first_conv = true;
+        for (idx, layer) in net.layers_mut().iter_mut().enumerate() {
+            let Some(any) = layer.as_any_mut() else { continue };
+            let Some(reuse) = any.downcast_mut::<ReuseConv2d>() else { continue };
+            let geom = *reuse.geom();
+            let l_range = LRange::from_geometry(geom.kernel_w, geom.in_c, first_conv);
+            first_conv = false;
+            let n = geom.rows_for_batch(batch_size);
+            let h_range = HRange::from_rows(n.max(2), max_h_values);
+            let candidates = CandidateList::build(&l_range, &h_range, reuse.out_channels());
+            plans.push(LayerPlan { layer_index: idx, candidates });
+        }
+        assert!(!plans.is_empty(), "network contains no ReuseConv2d layers");
+        let max_stage = plans.iter().map(|p| p.candidates.len()).max().unwrap() - 1;
+        let controller = Self {
+            plans,
+            stage: 0,
+            max_stage,
+            plateau: PlateauDetector::new(patience, min_delta).with_warmup(warmup),
+            cluster_reuse,
+        };
+        controller.apply_stage(net, 0);
+        controller
+    }
+
+    /// Current global stage index.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Last stage index any layer can reach.
+    pub fn max_stage(&self) -> usize {
+        self.max_stage
+    }
+
+    /// The per-layer plans (for reporting).
+    pub fn plans(&self) -> &[LayerPlan] {
+        &self.plans
+    }
+
+    /// Whether every layer sits at its most precise setting.
+    pub fn is_exhausted(&self) -> bool {
+        self.stage >= self.max_stage
+    }
+
+    /// Feeds one training-loss observation; `true` means the loss has
+    /// plateaued and [`AdaptiveController::advance`] should be called.
+    pub fn observe_loss(&mut self, loss: f32) -> bool {
+        self.plateau.observe(loss)
+    }
+
+    /// Applies stage `stage` (clamped per layer) to all reuse layers.
+    fn apply_stage(&self, net: &mut Network, stage: usize) {
+        for plan in &self.plans {
+            let (l, h) = plan.candidates.get_clamped(stage);
+            let layer = &mut net.layers_mut()[plan.layer_index];
+            let any = layer.as_any_mut().expect("plan points at a reuse layer");
+            let reuse = any.downcast_mut::<ReuseConv2d>().expect("plan points at a reuse layer");
+            reuse.set_config(ReuseConfig::new(l, h, self.cluster_reuse));
+        }
+    }
+
+    /// The `{L, H}` each layer is currently running (clamped stage).
+    pub fn current_settings(&self) -> Vec<(usize, (usize, usize))> {
+        self.plans
+            .iter()
+            .map(|p| (p.layer_index, p.candidates.get_clamped(self.stage)))
+            .collect()
+    }
+
+    /// Runs the Amendment 3.1–3.3 switching procedure on a probe batch.
+    ///
+    /// `training_accuracy` selects between the two acceptance rules:
+    /// below 0.5 a candidate must improve probe accuracy by ×1.5
+    /// (Amendment 3.1); above, by +0.1 absolute (Amendment 3.2). If no
+    /// stage passes, the first stage with ratio ≥ 1.1 is taken
+    /// (Amendment 3.3); if even that fails, the controller takes a single
+    /// step anyway so the schedule always progresses towards precision.
+    pub fn advance(
+        &mut self,
+        net: &mut Network,
+        probe_images: &Tensor4,
+        probe_labels: &[usize],
+        training_accuracy: f32,
+    ) -> AdvanceOutcome {
+        if self.is_exhausted() {
+            return AdvanceOutcome::Exhausted;
+        }
+        // Accuracy with the current settings.
+        self.apply_stage(net, self.stage);
+        let a_cur = net.evaluate(probe_images, probe_labels).accuracy.max(1e-6);
+
+        // Probe each later stage once, remembering accuracies.
+        let first = self.stage + 1;
+        let mut probe_acc = Vec::with_capacity(self.max_stage - self.stage);
+        for stage in first..=self.max_stage {
+            self.apply_stage(net, stage);
+            probe_acc.push(net.evaluate(probe_images, probe_labels).accuracy);
+        }
+
+        // Amendments 3.1 / 3.2.
+        let passes = |a_next: f32| {
+            if training_accuracy < 0.5 {
+                a_next / a_cur >= 1.5
+            } else {
+                a_next - a_cur >= 0.1
+            }
+        };
+        let accepted = probe_acc
+            .iter()
+            .position(|&a| passes(a))
+            .map(|off| (first + off, 1u8))
+            // Amendment 3.3 fallback.
+            .or_else(|| {
+                probe_acc
+                    .iter()
+                    .position(|&a| a / a_cur >= 1.1)
+                    .map(|off| (first + off, 3u8))
+            })
+            // Forced single step: guarantee progress.
+            .unwrap_or((first, 0u8));
+
+        let (stage, rule) = accepted;
+        self.stage = stage;
+        self.apply_stage(net, stage);
+        self.plateau.reset();
+        AdvanceOutcome::Switched { stage, rule }
+    }
+
+    /// Turns cluster reuse on/off for every planned layer (used by
+    /// Strategy 3) without touching `{L, H}`.
+    pub fn set_cluster_reuse(&mut self, net: &mut Network, enabled: bool) {
+        self.cluster_reuse = enabled;
+        self.apply_stage(net, self.stage);
+    }
+
+    /// Convenience: one SGD step is sometimes needed inside tests to make a
+    /// probe batch meaningful; exposed as a free helper for symmetry.
+    pub fn train_probe_step(
+        net: &mut Network,
+        sgd: &mut Sgd,
+        images: &Tensor4,
+        labels: &[usize],
+    ) -> f32 {
+        net.train_batch(images, labels, sgd).loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_nn::dense::Dense;
+    use adr_nn::relu::Relu;
+    use adr_tensor::im2col::ConvGeom;
+    use adr_tensor::rng::AdrRng;
+
+    fn reuse_net(seed: u64) -> Network {
+        let mut rng = AdrRng::seeded(seed);
+        let mut net = Network::new((8, 8, 3));
+        let g1 = ConvGeom::new(8, 8, 3, 3, 3, 1, 0).unwrap();
+        net.push(Box::new(ReuseConv2d::new(
+            "conv1",
+            g1,
+            8,
+            ReuseConfig::new(3, 4, false),
+            &mut rng,
+        )));
+        net.push(Box::new(Relu::new("relu1")));
+        let g2 = ConvGeom::new(6, 6, 8, 3, 3, 1, 0).unwrap();
+        net.push(Box::new(ReuseConv2d::new(
+            "conv2",
+            g2,
+            8,
+            ReuseConfig::new(3, 4, false),
+            &mut rng,
+        )));
+        net.push(Box::new(Relu::new("relu2")));
+        net.push(Box::new(Dense::new("fc", 4 * 4 * 8, 4, &mut rng)));
+        net
+    }
+
+    fn probe(seed: u64) -> (Tensor4, Vec<usize>) {
+        let mut rng = AdrRng::seeded(seed);
+        let images = Tensor4::from_fn(8, 8, 8, 3, |n, _, _, _| (n % 4) as f32 * 0.5 + 0.1 * rng.gauss());
+        let labels = (0..8).map(|n| n % 4).collect();
+        (images, labels)
+    }
+
+    #[test]
+    fn controller_discovers_both_reuse_layers() {
+        let mut net = reuse_net(1);
+        let c = AdaptiveController::for_network(&mut net, 8, 6, 3, 0.01, 0, false);
+        assert_eq!(c.plans().len(), 2);
+        assert_eq!(c.plans()[0].layer_index, 0);
+        assert_eq!(c.plans()[1].layer_index, 2);
+    }
+
+    #[test]
+    fn initial_stage_is_most_aggressive() {
+        let mut net = reuse_net(2);
+        let c = AdaptiveController::for_network(&mut net, 8, 6, 3, 0.01, 0, false);
+        for (layer_idx, (l, h)) in c.current_settings() {
+            let plan = c.plans().iter().find(|p| p.layer_index == layer_idx).unwrap();
+            assert_eq!((l, h), plan.candidates.settings()[0]);
+        }
+        // And the layers actually carry those configs.
+        let any = net.layers_mut()[0].as_any_mut().unwrap();
+        let reuse = any.downcast_mut::<ReuseConv2d>().unwrap();
+        let cfg = reuse.config();
+        assert_eq!((cfg.sub_vector_len, cfg.num_hashes), c.plans()[0].candidates.settings()[0]);
+    }
+
+    #[test]
+    fn plateau_detection_fires_on_flat_loss() {
+        let mut net = reuse_net(3);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 6, 2, 0.01, 0, false);
+        assert!(!c.observe_loss(1.0));
+        assert!(!c.observe_loss(1.0));
+        assert!(c.observe_loss(1.0));
+    }
+
+    #[test]
+    fn advance_moves_forward_and_eventually_exhausts() {
+        let mut net = reuse_net(4);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false);
+        let (images, labels) = probe(5);
+        let mut stages = vec![c.stage()];
+        for _ in 0..64 {
+            match c.advance(&mut net, &images, &labels, 0.7) {
+                AdvanceOutcome::Switched { stage, .. } => stages.push(stage),
+                AdvanceOutcome::Exhausted => break,
+            }
+        }
+        assert!(c.is_exhausted(), "controller should reach the end");
+        assert!(stages.windows(2).all(|w| w[1] > w[0]), "stages strictly increase");
+        // Final configs are each layer's most precise setting.
+        for (layer_idx, (l, h)) in c.current_settings() {
+            let plan = c.plans().iter().find(|p| p.layer_index == layer_idx).unwrap();
+            assert_eq!((l, h), *plan.candidates.settings().last().unwrap());
+        }
+    }
+
+    #[test]
+    fn advance_applies_configs_to_layers() {
+        let mut net = reuse_net(6);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false);
+        let (images, labels) = probe(7);
+        c.advance(&mut net, &images, &labels, 0.2);
+        let settings = c.current_settings();
+        let any = net.layers_mut()[0].as_any_mut().unwrap();
+        let cfg = any.downcast_mut::<ReuseConv2d>().unwrap().config();
+        assert_eq!((cfg.sub_vector_len, cfg.num_hashes), settings[0].1);
+    }
+
+    #[test]
+    fn set_cluster_reuse_propagates() {
+        let mut net = reuse_net(8);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, true);
+        let any = net.layers_mut()[0].as_any_mut().unwrap();
+        assert!(any.downcast_mut::<ReuseConv2d>().unwrap().config().cluster_reuse);
+        c.set_cluster_reuse(&mut net, false);
+        let any = net.layers_mut()[0].as_any_mut().unwrap();
+        assert!(!any.downcast_mut::<ReuseConv2d>().unwrap().config().cluster_reuse);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ReuseConv2d")]
+    fn dense_only_network_panics() {
+        let mut rng = AdrRng::seeded(9);
+        let mut net = Network::new((4, 4, 1));
+        net.push(Box::new(Dense::new("fc", 16, 2, &mut rng)));
+        AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false);
+    }
+}

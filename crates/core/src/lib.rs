@@ -1,0 +1,39 @@
+//! Adaptive deep reuse — the paper's contribution (§V).
+//!
+//! Different CNN training stages tolerate different amounts of precision
+//! relaxation: a rough early model barely notices clustering error, while a
+//! nearly-converged model is derailed by it. This crate turns that insight
+//! into machinery:
+//!
+//! * [`policy`] — Policies 1 and 2 (plus Amendment 1) derive each layer's
+//!   admissible ranges of sub-vector length `L` and hash count `H` from its
+//!   geometry (`kw`, `Ic`) and unfolded row count `N`.
+//! * [`candidates`] — Policy 3 merges the descending `[L]` list and the
+//!   ascending `[H]` list into one ordered candidate schedule, always
+//!   stepping in the direction of smaller expected-time increase
+//!   (Eqs. 22/23).
+//! * [`controller`] — the runtime: watches the training loss; when it
+//!   plateaus, probes the next candidates on a held-out batch and accepts
+//!   per Amendments 3.1–3.3.
+//! * [`strategy`] — the three training strategies compared in Table IV:
+//!   fixed `{L, H}` (Strategy 1), adaptive `{L, H}` (Strategy 2), and the
+//!   cluster-reuse on→off schedule (Strategy 3), plus the dense baseline.
+//! * [`trainer`] — the training loop wiring strategies into an
+//!   `adr_nn::Network`, with FLOP/time/iteration accounting.
+//! * [`report`] — the per-run summary used to regenerate Table IV.
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod controller;
+pub mod policy;
+pub mod report;
+pub mod strategy;
+pub mod trainer;
+
+pub use candidates::CandidateList;
+pub use controller::AdaptiveController;
+pub use policy::{HRange, LRange};
+pub use report::TrainReport;
+pub use strategy::{Strategy, StrategyKind};
+pub use trainer::{BatchSource, FnBatchSource, Trainer, TrainerConfig};

@@ -1,0 +1,208 @@
+//! Parameter-range policies (§V-A(a)).
+//!
+//! * **Policy 1**: per layer, `Lmin = kw` and `Lmax = ⌈√Ic⌉·kw`.
+//! * **Amendment 1**: for layers other than the first, when the kernel is
+//!   very small (`kw·kw < 10`), raise `Lmin` to `kw·kw`.
+//! * **Policy 2**: from the observation `r_c > 0.01`, pick the smallest
+//!   `Hmin` with `2^Hmin > 0.01·N` and the largest `Hmax` with `2^Hmax < N`.
+
+/// Admissible sub-vector lengths for one convolutional layer, ordered from
+/// most aggressive (`Lmax`, coarse clustering) to most precise (`Lmin`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LRange {
+    l_min: usize,
+    l_max: usize,
+    /// Descending candidate values, multiples of `kw` (natural kernel-row
+    /// boundaries in the im2col layout).
+    values: Vec<usize>,
+}
+
+impl LRange {
+    /// Derives the range from layer geometry per Policy 1 / Amendment 1.
+    ///
+    /// * `kernel_w` — kernel width `kw`.
+    /// * `in_channels` — input channel count `Ic`.
+    /// * `first_layer` — whether this is the first convolutional layer
+    ///   (Amendment 1 does not apply there).
+    ///
+    /// # Panics
+    /// Panics if `kernel_w == 0 || in_channels == 0`.
+    pub fn from_geometry(kernel_w: usize, in_channels: usize, first_layer: bool) -> Self {
+        assert!(kernel_w > 0 && in_channels > 0, "degenerate layer geometry");
+        let mut l_min = kernel_w;
+        if !first_layer && kernel_w * kernel_w < 10 {
+            l_min = kernel_w * kernel_w; // Amendment 1
+        }
+        let mut l_max = (in_channels as f64).sqrt().ceil() as usize * kernel_w;
+        if l_max < l_min {
+            l_max = l_min;
+        }
+        // Candidate granularities: roughly-halving multiples of kw inside
+        // [Lmin, Lmax], descending, always containing both endpoints.
+        // Halving keeps the schedule short (each L step already changes the
+        // expected cost by ~2x, Eq. 22) instead of crawling one kernel-row
+        // at a time.
+        let mut values: Vec<usize> = Vec::new();
+        let mut v = l_max;
+        while v > l_min {
+            values.push(v);
+            // Halve, snapped down to a multiple of kw, floored at Lmin.
+            let half = ((v / 2) / kernel_w) * kernel_w;
+            v = half.clamp(l_min, v - 1);
+        }
+        values.push(l_min);
+        Self { l_min, l_max, values }
+    }
+
+    /// Smallest admissible `L`.
+    pub fn min(&self) -> usize {
+        self.l_min
+    }
+
+    /// Largest admissible `L`.
+    pub fn max(&self) -> usize {
+        self.l_max
+    }
+
+    /// Descending candidate values (`Lmax` first).
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+}
+
+/// Admissible hash counts for one layer, ordered ascending (few hashes =
+/// aggressive reuse first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HRange {
+    h_min: usize,
+    h_max: usize,
+    values: Vec<usize>,
+}
+
+impl HRange {
+    /// Derives the range from the unfolded row count `N` per Policy 2,
+    /// clamped to the `1..=64` signature width and sub-sampled to at most
+    /// `max_values` candidates.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `max_values == 0`.
+    pub fn from_rows(n: usize, max_values: usize) -> Self {
+        assert!(n >= 2, "need at least two rows to cluster");
+        assert!(max_values > 0, "max_values must be positive");
+        // Smallest H with 2^H > 0.01·N.
+        let mut h_min = 1usize;
+        while (1u128 << h_min) as f64 <= 0.01 * n as f64 && h_min < 64 {
+            h_min += 1;
+        }
+        // Largest H with 2^H < N.
+        let mut h_max = h_min;
+        while h_max < 64 && (1u128 << (h_max + 1)) < n as u128 {
+            h_max += 1;
+        }
+        let h_max = h_max.clamp(h_min, 64);
+        // Ascending values, endpoints always included.
+        let span = h_max - h_min;
+        let steps = span.min(max_values.saturating_sub(1));
+        let mut values: Vec<usize> = if steps == 0 {
+            vec![h_min]
+        } else {
+            (0..=steps)
+                .map(|i| h_min + (i * span) / steps)
+                .collect()
+        };
+        values.dedup();
+        Self { h_min, h_max, values }
+    }
+
+    /// Smallest admissible `H`.
+    pub fn min(&self) -> usize {
+        self.h_min
+    }
+
+    /// Largest admissible `H`.
+    pub fn max(&self) -> usize {
+        self.h_max
+    }
+
+    /// Ascending candidate values (`Hmin` first).
+    pub fn values(&self) -> &[usize] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifarnet_conv1_range_matches_paper() {
+        // kw = 5, Ic = 3, first layer: Lmin = 5, Lmax = ⌈√3⌉·5 = 10.
+        let r = LRange::from_geometry(5, 3, true);
+        assert_eq!(r.min(), 5);
+        assert_eq!(r.max(), 10);
+        assert_eq!(r.values(), &[10, 5]);
+    }
+
+    #[test]
+    fn cifarnet_conv2_range_matches_paper() {
+        // kw = 5, Ic = 64, hidden layer: kw² = 25 ≥ 10 so Amendment 1 is
+        // inactive; Lmin = 5, Lmax = 8·5 = 40.
+        let r = LRange::from_geometry(5, 64, false);
+        assert_eq!(r.min(), 5);
+        assert_eq!(r.max(), 40);
+        assert!(r.values().windows(2).all(|w| w[0] > w[1]), "descending");
+        assert!(r.values().iter().all(|&v| v % 5 == 0));
+    }
+
+    #[test]
+    fn amendment_1_raises_lmin_for_small_hidden_kernels() {
+        // VGG-style 3x3 hidden layer: kw·kw = 9 < 10 → Lmin = 9.
+        let r = LRange::from_geometry(3, 64, false);
+        assert_eq!(r.min(), 9);
+        // First layer keeps Lmin = kw even for 3x3.
+        let first = LRange::from_geometry(3, 3, true);
+        assert_eq!(first.min(), 3);
+    }
+
+    #[test]
+    fn degenerate_single_channel_layer_collapses_range() {
+        let r = LRange::from_geometry(3, 1, false);
+        // Lmin = 9 (Amendment 1) > Lmax = 3 → clamped to a single value.
+        assert_eq!(r.min(), 9);
+        assert_eq!(r.max(), 9);
+        assert_eq!(r.values(), &[9]);
+    }
+
+    #[test]
+    fn h_range_matches_paper_for_cifarnet_conv1() {
+        // N = 64·28·28 = 50176. 0.01·N ≈ 502 → Hmin = 9 (2⁹ = 512).
+        // Largest H with 2^H < N: 2¹⁵ = 32768 < 50176 < 65536 → Hmax = 15.
+        let r = HRange::from_rows(64 * 28 * 28, 32);
+        assert_eq!(r.min(), 9);
+        assert_eq!(r.max(), 15);
+        assert_eq!(r.values(), &[9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn h_range_subsamples_to_max_values() {
+        let r = HRange::from_rows(1 << 20, 4);
+        assert_eq!(r.values().len(), 4);
+        assert_eq!(*r.values().first().unwrap(), r.min());
+        assert_eq!(*r.values().last().unwrap(), r.max());
+        assert!(r.values().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn h_range_handles_tiny_n() {
+        let r = HRange::from_rows(4, 8);
+        assert!(r.min() >= 1);
+        assert!(r.max() <= 64);
+        assert!(!r.values().is_empty());
+    }
+
+    #[test]
+    fn h_range_never_exceeds_signature_width() {
+        let r = HRange::from_rows(usize::MAX / 2, 100);
+        assert!(r.max() <= 64);
+    }
+}

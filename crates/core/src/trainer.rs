@@ -1,0 +1,442 @@
+//! The training loop tying strategies, controller and network together.
+
+use std::time::Instant;
+
+use adr_nn::metrics::{EpochMeter, PlateauDetector};
+use adr_nn::{Network, Sgd};
+use adr_reuse::{ReuseConfig, ReuseConv2d};
+use adr_tensor::Tensor4;
+
+use crate::controller::{AdaptiveController, AdvanceOutcome};
+use crate::report::{SwitchEvent, TrainReport};
+use crate::strategy::{Strategy, StrategyKind};
+
+/// Supplies labelled training batches plus a held-out probe batch.
+///
+/// The trainer cycles `batch(0..num_batches)` repeatedly; `probe` must stay
+/// disjoint from the training stream so accuracy checks (the controller's
+/// Amendment tests and the target-accuracy stop rule) are honest.
+pub trait BatchSource {
+    /// Distinct training batches available.
+    fn num_batches(&self) -> usize;
+
+    /// The `index`-th training batch (images, labels).
+    fn batch(&mut self, index: usize) -> (Tensor4, Vec<usize>);
+
+    /// A fixed held-out batch for probing accuracy.
+    fn probe(&mut self) -> (Tensor4, Vec<usize>);
+}
+
+/// Adapts a closure into a [`BatchSource`].
+pub struct FnBatchSource<F> {
+    num_batches: usize,
+    make_batch: F,
+    probe: (Tensor4, Vec<usize>),
+}
+
+impl<F: FnMut(usize) -> (Tensor4, Vec<usize>)> FnBatchSource<F> {
+    /// Creates a source from a batch-producing closure and a fixed probe.
+    ///
+    /// # Panics
+    /// Panics if `num_batches == 0` or the probe is empty.
+    pub fn new(num_batches: usize, make_batch: F, probe: (Tensor4, Vec<usize>)) -> Self {
+        assert!(num_batches > 0, "need at least one training batch");
+        assert!(!probe.1.is_empty(), "probe batch must be non-empty");
+        Self { num_batches, make_batch, probe }
+    }
+}
+
+impl<F: FnMut(usize) -> (Tensor4, Vec<usize>)> BatchSource for FnBatchSource<F> {
+    fn num_batches(&self) -> usize {
+        self.num_batches
+    }
+
+    fn batch(&mut self, index: usize) -> (Tensor4, Vec<usize>) {
+        (self.make_batch)(index)
+    }
+
+    fn probe(&mut self) -> (Tensor4, Vec<usize>) {
+        self.probe.clone()
+    }
+}
+
+/// Trainer knobs.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Hard iteration budget.
+    pub max_iterations: usize,
+    /// Stop early once probe accuracy reaches this (the paper trains every
+    /// strategy to the *same* accuracy and compares time).
+    pub target_accuracy: Option<f32>,
+    /// Probe-evaluation cadence in iterations.
+    pub eval_every: usize,
+    /// Plateau patience (loss observations without improvement).
+    pub plateau_patience: usize,
+    /// Relative loss improvement that resets the plateau counter.
+    pub plateau_min_delta: f32,
+    /// Observations after each phase switch during which plateau detection
+    /// stays quiet.
+    pub plateau_warmup: usize,
+    /// Cap on distinct `H` candidates per layer (Strategy 2).
+    pub max_h_values: usize,
+    /// Keep at most this many history samples.
+    pub history_samples: usize,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 500,
+            target_accuracy: None,
+            eval_every: 10,
+            plateau_patience: 8,
+            plateau_min_delta: 0.005,
+            plateau_warmup: 20,
+            max_h_values: 6,
+            history_samples: 256,
+        }
+    }
+}
+
+/// Runs a strategy-driven training loop over a network.
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    /// Panics on zero `max_iterations` or `eval_every`.
+    pub fn new(config: TrainerConfig) -> Self {
+        assert!(config.max_iterations > 0, "max_iterations must be positive");
+        assert!(config.eval_every > 0, "eval_every must be positive");
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Applies a fixed `{L, H, CR}` to every reuse layer in the network.
+    fn apply_fixed(net: &mut Network, l: usize, h: usize, cr: bool) {
+        for layer in net.layers_mut() {
+            if let Some(any) = layer.as_any_mut() {
+                if let Some(reuse) = any.downcast_mut::<ReuseConv2d>() {
+                    reuse.set_config(ReuseConfig::new(l, h, cr));
+                }
+            }
+        }
+    }
+
+    /// Trains `net` with `strategy` on batches from `source` using `sgd`.
+    ///
+    /// The network must already be built to match the strategy (reuse
+    /// convolutions for reuse strategies, dense for the baseline); model
+    /// builders in `adr-models` handle that.
+    pub fn train(
+        &self,
+        net: &mut Network,
+        strategy: Strategy,
+        source: &mut dyn BatchSource,
+        sgd: &mut Sgd,
+    ) -> TrainReport {
+        let cfg = &self.config;
+        let batch_size_hint = source.probe().1.len();
+
+        // Strategy-specific setup.
+        let mut controller = match strategy.kind {
+            StrategyKind::AdaptiveLh => Some(AdaptiveController::for_network(
+                net,
+                batch_size_hint,
+                cfg.max_h_values,
+                cfg.plateau_patience,
+                cfg.plateau_min_delta,
+                cfg.plateau_warmup,
+                false,
+            )),
+            StrategyKind::FixedLh { l, h } => {
+                Self::apply_fixed(net, l, h, false);
+                None
+            }
+            StrategyKind::ClusterReuseSchedule { l, h } => {
+                Self::apply_fixed(net, l, h, true);
+                None
+            }
+            StrategyKind::Baseline => None,
+        };
+        // Strategy 3 needs its own plateau detector; Strategy 2's lives in
+        // the controller.
+        let mut cr_plateau = matches!(strategy.kind, StrategyKind::ClusterReuseSchedule { .. })
+            .then(|| PlateauDetector::new(cfg.plateau_patience, cfg.plateau_min_delta).with_warmup(cfg.plateau_warmup));
+        let mut cr_active = matches!(strategy.kind, StrategyKind::ClusterReuseSchedule { .. });
+
+        net.reset_flops();
+        let (probe_images, probe_labels) = source.probe();
+        let mut switches = Vec::new();
+        let mut loss_history = Vec::new();
+        let mut accuracy_history = Vec::new();
+        let mut iterations_to_target = None;
+        let mut running = EpochMeter::new();
+        let history_stride = (cfg.max_iterations / cfg.history_samples.max(1)).max(1);
+
+        let start = Instant::now();
+        let mut iterations_run = 0;
+        for iter in 0..cfg.max_iterations {
+            iterations_run = iter + 1;
+            let (images, labels) = source.batch(iter % source.num_batches());
+            let step = net.train_batch(&images, &labels, sgd);
+            running.record(step.loss, step.correct, step.batch_size);
+            if iter % history_stride == 0 {
+                loss_history.push((iter, step.loss));
+            }
+
+            // Strategy-specific plateau handling.
+            match strategy.kind {
+                StrategyKind::AdaptiveLh => {
+                    let ctrl = controller.as_mut().expect("adaptive controller exists");
+                    if ctrl.observe_loss(step.loss) && !ctrl.is_exhausted() {
+                        let train_acc = running.accuracy();
+                        match ctrl.advance(net, &probe_images, &probe_labels, train_acc) {
+                            AdvanceOutcome::Switched { stage, rule } => {
+                                switches.push(SwitchEvent {
+                                    iteration: iter,
+                                    description: format!(
+                                        "stage {stage}/{} (rule {rule}): {:?}",
+                                        ctrl.max_stage(),
+                                        ctrl.current_settings()
+                                    ),
+                                });
+                                running.reset();
+                            }
+                            AdvanceOutcome::Exhausted => {}
+                        }
+                    }
+                }
+                StrategyKind::ClusterReuseSchedule { l, h } => {
+                    if cr_active {
+                        let det = cr_plateau.as_mut().expect("CR plateau detector exists");
+                        if det.observe(step.loss) {
+                            Self::apply_fixed(net, l, h, false);
+                            cr_active = false;
+                            switches.push(SwitchEvent {
+                                iteration: iter,
+                                description: "cluster reuse off (CR 1 -> 0)".into(),
+                            });
+                        }
+                    }
+                }
+                StrategyKind::Baseline | StrategyKind::FixedLh { .. } => {}
+            }
+
+            // Periodic probe evaluation + target stop rule.
+            if (iter + 1) % cfg.eval_every == 0 {
+                let eval = net.evaluate(&probe_images, &probe_labels);
+                accuracy_history.push((iter, eval.accuracy));
+                if let Some(target) = cfg.target_accuracy {
+                    if eval.accuracy >= target && iterations_to_target.is_none() {
+                        iterations_to_target = Some(iter + 1);
+                        break;
+                    }
+                }
+            }
+        }
+        let wall_time = start.elapsed();
+
+        let final_eval = net.evaluate(&probe_images, &probe_labels);
+        TrainReport {
+            strategy: strategy.name().to_string(),
+            iterations_run,
+            iterations_to_target,
+            final_loss: final_eval.loss,
+            final_accuracy: final_eval.accuracy,
+            actual_flops: net.flops(),
+            baseline_flops: net.baseline_flops(),
+            wall_time,
+            switches,
+            loss_history,
+            accuracy_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_nn::dense::Dense;
+    use adr_nn::relu::Relu;
+    use adr_tensor::im2col::ConvGeom;
+    use adr_tensor::rng::AdrRng;
+
+    /// Tiny 3-class problem: class = which image row band is bright.
+    fn toy_source(seed: u64) -> FnBatchSource<impl FnMut(usize) -> (Tensor4, Vec<usize>)> {
+        let make = move |index: usize| make_batch(seed + index as u64);
+        let probe = make_batch(seed + 1000);
+        FnBatchSource::new(4, make, probe)
+    }
+
+    fn make_batch(seed: u64) -> (Tensor4, Vec<usize>) {
+        let mut rng = AdrRng::seeded(seed);
+        let n = 6;
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let images = Tensor4::from_fn(n, 6, 6, 1, |b, y, _, _| {
+            let bright = y / 2 == labels[b];
+            (if bright { 1.0 } else { 0.0 }) + 0.05 * rng.gauss()
+        });
+        (images, labels)
+    }
+
+    fn dense_net(seed: u64) -> Network {
+        let mut rng = AdrRng::seeded(seed);
+        let mut net = Network::new((6, 6, 1));
+        let g = ConvGeom::new(6, 6, 1, 3, 3, 1, 0).unwrap();
+        net.push(Box::new(adr_nn::conv::Conv2d::new("conv1", g, 6, &mut rng)));
+        net.push(Box::new(Relu::new("relu1")));
+        net.push(Box::new(Dense::new("fc", 4 * 4 * 6, 3, &mut rng)));
+        net
+    }
+
+    fn reuse_net(seed: u64) -> Network {
+        let mut rng = AdrRng::seeded(seed);
+        let mut net = Network::new((6, 6, 1));
+        let g = ConvGeom::new(6, 6, 1, 3, 3, 1, 0).unwrap();
+        net.push(Box::new(ReuseConv2d::new(
+            "conv1",
+            g,
+            6,
+            ReuseConfig::new(3, 6, false),
+            &mut rng,
+        )));
+        net.push(Box::new(Relu::new("relu1")));
+        net.push(Box::new(Dense::new("fc", 4 * 4 * 6, 3, &mut rng)));
+        net
+    }
+
+    fn quick_config() -> TrainerConfig {
+        TrainerConfig {
+            max_iterations: 120,
+            eval_every: 10,
+            plateau_patience: 5,
+            plateau_min_delta: 0.01,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fn_batch_source_cycles_and_probes() {
+        let mut calls = 0usize;
+        let probe = make_batch(999);
+        let mut source = FnBatchSource::new(
+            3,
+            move |index| {
+                calls += 1;
+                let _ = calls;
+                make_batch(index as u64)
+            },
+            probe.clone(),
+        );
+        assert_eq!(source.num_batches(), 3);
+        let (images, labels) = source.batch(1);
+        assert_eq!(images.batch(), labels.len());
+        let (p_images, p_labels) = source.probe();
+        assert_eq!(p_images.as_slice(), probe.0.as_slice());
+        assert_eq!(p_labels, probe.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training batch")]
+    fn zero_batch_source_panics() {
+        let probe = make_batch(1);
+        let _ = FnBatchSource::new(0, |i| make_batch(i as u64), probe);
+    }
+
+    #[test]
+    fn baseline_training_learns_toy_task() {
+        let trainer = Trainer::new(quick_config());
+        let mut net = dense_net(1);
+        let mut source = toy_source(10);
+        let mut sgd = Sgd::constant(0.05);
+        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd);
+        assert!(report.final_accuracy > 0.8, "accuracy {}", report.final_accuracy);
+        assert_eq!(report.actual_flops, report.baseline_flops);
+        assert!(report.switches.is_empty());
+    }
+
+    #[test]
+    fn fixed_strategy_saves_flops_and_learns() {
+        let trainer = Trainer::new(quick_config());
+        let mut net = reuse_net(2);
+        let mut source = toy_source(20);
+        let mut sgd = Sgd::constant(0.05);
+        let report = trainer.train(&mut net, Strategy::fixed(3, 6), &mut source, &mut sgd);
+        assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+        assert!(
+            report.actual_flops.total() < report.baseline_flops.total(),
+            "reuse must do less work than dense"
+        );
+    }
+
+    #[test]
+    fn adaptive_strategy_switches_stages() {
+        let trainer = Trainer::new(TrainerConfig {
+            max_iterations: 200,
+            plateau_patience: 3,
+            plateau_min_delta: 0.02,
+            ..quick_config()
+        });
+        let mut net = reuse_net(3);
+        let mut source = toy_source(30);
+        let mut sgd = Sgd::constant(0.05);
+        let report = trainer.train(&mut net, Strategy::adaptive(), &mut source, &mut sgd);
+        assert!(!report.switches.is_empty(), "adaptive run should switch at least once");
+        assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+    }
+
+    #[test]
+    fn cluster_reuse_strategy_turns_cr_off_on_plateau() {
+        let trainer = Trainer::new(TrainerConfig {
+            max_iterations: 200,
+            plateau_patience: 3,
+            plateau_min_delta: 0.02,
+            ..quick_config()
+        });
+        let mut net = reuse_net(4);
+        let mut source = toy_source(40);
+        let mut sgd = Sgd::constant(0.05);
+        let report = trainer.train(&mut net, Strategy::cluster_reuse(3, 6), &mut source, &mut sgd);
+        let cr_switches: Vec<_> = report
+            .switches
+            .iter()
+            .filter(|s| s.description.contains("cluster reuse off"))
+            .collect();
+        assert_eq!(cr_switches.len(), 1, "CR must switch off exactly once");
+    }
+
+    #[test]
+    fn target_accuracy_stops_early() {
+        let trainer = Trainer::new(TrainerConfig {
+            max_iterations: 2000,
+            target_accuracy: Some(0.8),
+            ..quick_config()
+        });
+        let mut net = dense_net(5);
+        let mut source = toy_source(50);
+        let mut sgd = Sgd::constant(0.05);
+        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd);
+        assert!(report.iterations_to_target.is_some());
+        assert!(report.iterations_run < 2000);
+    }
+
+    #[test]
+    fn histories_are_sampled() {
+        let trainer = Trainer::new(quick_config());
+        let mut net = dense_net(6);
+        let mut source = toy_source(60);
+        let mut sgd = Sgd::constant(0.05);
+        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd);
+        assert!(!report.loss_history.is_empty());
+        assert!(!report.accuracy_history.is_empty());
+        assert!(report.loss_history.len() <= 256 + 1);
+    }
+}

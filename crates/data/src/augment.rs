@@ -1,0 +1,159 @@
+//! Training-time data augmentation.
+//!
+//! The paper's TensorFlow-slim input pipeline augments CIFAR/ImageNet
+//! batches with random crops and flips; this module provides the same
+//! transforms for the synthetic substitute, deterministic per seed.
+
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Tensor4;
+
+/// Augmentation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal flip per image.
+    pub flip_prob: f32,
+    /// Maximum |shift| in pixels of the random crop (pad-and-crop style;
+    /// 0 disables cropping).
+    pub max_crop_shift: usize,
+    /// Maximum multiplicative brightness jitter (`0.1` = ±10 %).
+    pub brightness_jitter: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self { flip_prob: 0.5, max_crop_shift: 2, brightness_jitter: 0.1 }
+    }
+}
+
+impl AugmentConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics when probabilities/jitters are outside their ranges.
+    pub fn validated(self) -> Self {
+        assert!((0.0..=1.0).contains(&self.flip_prob), "flip_prob must be in [0, 1]");
+        assert!(
+            (0.0..1.0).contains(&self.brightness_jitter),
+            "brightness_jitter must be in [0, 1)"
+        );
+        self
+    }
+}
+
+/// Applies the configured augmentations to every image of a batch,
+/// returning a new tensor. Labels are untouched (all transforms are
+/// label-preserving).
+pub fn augment_batch(batch: &Tensor4, cfg: &AugmentConfig, rng: &mut AdrRng) -> Tensor4 {
+    let cfg = cfg.validated();
+    let (n, h, w, c) = batch.shape();
+    let mut out = batch.clone();
+    for img in 0..n {
+        let flip = rng.uniform() < cfg.flip_prob;
+        let (dy, dx) = if cfg.max_crop_shift > 0 {
+            let span = 2 * cfg.max_crop_shift + 1;
+            (
+                rng.below(span) as i64 - cfg.max_crop_shift as i64,
+                rng.below(span) as i64 - cfg.max_crop_shift as i64,
+            )
+        } else {
+            (0, 0)
+        };
+        let gain = 1.0 + cfg.brightness_jitter * (2.0 * rng.uniform() - 1.0);
+        for y in 0..h {
+            for x in 0..w {
+                // Source coordinates: shifted (clamped at borders, the
+                // pad-and-crop equivalent) and optionally mirrored.
+                let sy = (y as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                let sx_raw = (x as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                let sx = if flip { w - 1 - sx_raw } else { sx_raw };
+                for ch in 0..c {
+                    *out.get_mut(img, y, x, ch) = batch.get(img, sy, sx, ch) * gain;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(seed: u64) -> Tensor4 {
+        let mut rng = AdrRng::seeded(seed);
+        Tensor4::from_fn(3, 8, 8, 2, |_, _, _, _| rng.gauss())
+    }
+
+    #[test]
+    fn identity_config_is_identity() {
+        let cfg = AugmentConfig { flip_prob: 0.0, max_crop_shift: 0, brightness_jitter: 0.0 };
+        let x = batch(1);
+        let y = augment_batch(&x, &cfg, &mut AdrRng::seeded(2));
+        assert_eq!(x.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn guaranteed_flip_mirrors_columns() {
+        let cfg = AugmentConfig { flip_prob: 1.0, max_crop_shift: 0, brightness_jitter: 0.0 };
+        let x = batch(3);
+        let y = augment_batch(&x, &cfg, &mut AdrRng::seeded(4));
+        let (_, h, w, c) = x.shape();
+        for yy in 0..h {
+            for xx in 0..w {
+                for ch in 0..c {
+                    assert_eq!(y.get(0, yy, xx, ch), x.get(0, yy, w - 1 - xx, ch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        let cfg = AugmentConfig { flip_prob: 1.0, max_crop_shift: 0, brightness_jitter: 0.0 };
+        let x = batch(5);
+        let once = augment_batch(&x, &cfg, &mut AdrRng::seeded(6));
+        let twice = augment_batch(&once, &cfg, &mut AdrRng::seeded(7));
+        assert_eq!(x.as_slice(), twice.as_slice());
+    }
+
+    #[test]
+    fn brightness_jitter_scales_whole_image_uniformly() {
+        let cfg = AugmentConfig { flip_prob: 0.0, max_crop_shift: 0, brightness_jitter: 0.3 };
+        let x = batch(8);
+        let y = augment_batch(&x, &cfg, &mut AdrRng::seeded(9));
+        // Per image, the ratio y/x must be constant wherever x != 0.
+        let per = 8 * 8 * 2;
+        for img in 0..3 {
+            let xs = &x.as_slice()[img * per..(img + 1) * per];
+            let ys = &y.as_slice()[img * per..(img + 1) * per];
+            let mut gain = None;
+            for (a, b) in xs.iter().zip(ys) {
+                if a.abs() > 1e-3 {
+                    let g = b / a;
+                    match gain {
+                        None => gain = Some(g),
+                        Some(g0) => assert!((g - g0).abs() < 1e-4, "gain varies: {g0} vs {g}"),
+                    }
+                }
+            }
+            let g = gain.expect("image has non-zero pixels");
+            assert!((0.7..=1.3).contains(&g), "gain {g} out of jitter range");
+        }
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let cfg = AugmentConfig::default();
+        let x = batch(10);
+        let a = augment_batch(&x, &cfg, &mut AdrRng::seeded(11));
+        let b = augment_batch(&x, &cfg, &mut AdrRng::seeded(11));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "flip_prob")]
+    fn invalid_flip_prob_panics() {
+        let cfg = AugmentConfig { flip_prob: 1.5, max_crop_shift: 0, brightness_jitter: 0.0 };
+        augment_batch(&batch(12), &cfg, &mut AdrRng::seeded(13));
+    }
+}

@@ -1,0 +1,96 @@
+//! Train/validation splitting.
+
+use adr_tensor::rng::AdrRng;
+
+use crate::synth::SynthDataset;
+
+/// Index-based train/validation split of a dataset.
+#[derive(Clone, Debug)]
+pub struct Split {
+    train: Vec<usize>,
+    val: Vec<usize>,
+}
+
+impl Split {
+    /// Randomly splits `dataset` with `val_fraction` of images held out.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < val_fraction < 1.0` and both sides end up
+    /// non-empty.
+    pub fn random(dataset: &SynthDataset, val_fraction: f64, rng: &mut AdrRng) -> Self {
+        assert!(
+            val_fraction > 0.0 && val_fraction < 1.0,
+            "val_fraction must be in (0, 1)"
+        );
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        rng.shuffle(&mut order);
+        let val_len = ((dataset.len() as f64 * val_fraction).round() as usize)
+            .clamp(1, dataset.len().saturating_sub(1));
+        let val = order.split_off(dataset.len() - val_len);
+        assert!(!order.is_empty(), "train side is empty");
+        Self { train: order, val }
+    }
+
+    /// Training indices.
+    pub fn train_indices(&self) -> &[usize] {
+        &self.train
+    }
+
+    /// Validation indices.
+    pub fn val_indices(&self) -> &[usize] {
+        &self.val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn dataset(n: usize) -> SynthDataset {
+        let cfg = SynthConfig {
+            num_images: n,
+            num_classes: 2,
+            height: 4,
+            width: 4,
+            channels: 1,
+            smoothing_passes: 1,
+            noise_std: 0.01,
+            max_shift: 0,
+        image_variability: 0.45,
+        };
+        SynthDataset::generate(&cfg, &mut AdrRng::seeded(1))
+    }
+
+    #[test]
+    fn split_sizes_match_fraction() {
+        let d = dataset(100);
+        let s = Split::random(&d, 0.2, &mut AdrRng::seeded(2));
+        assert_eq!(s.val_indices().len(), 20);
+        assert_eq!(s.train_indices().len(), 80);
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let d = dataset(50);
+        let s = Split::random(&d, 0.3, &mut AdrRng::seeded(3));
+        let mut all: Vec<usize> = s.train_indices().iter().chain(s.val_indices()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_dataset_keeps_both_sides_non_empty() {
+        let d = dataset(2);
+        let s = Split::random(&d, 0.5, &mut AdrRng::seeded(4));
+        assert_eq!(s.train_indices().len(), 1);
+        assert_eq!(s.val_indices().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "val_fraction")]
+    fn invalid_fraction_panics() {
+        let d = dataset(10);
+        Split::random(&d, 1.0, &mut AdrRng::seeded(5));
+    }
+}

@@ -1,0 +1,82 @@
+//! Benchmark network builders (Table II of the paper).
+//!
+//! Each model comes in two forms:
+//!
+//! * a [`spec::ModelSpec`] describing the *paper-scale* layer geometry
+//!   (kernels, channels, strides), against which the Table II K/M ranges
+//!   are asserted by unit tests — no weights are allocated;
+//! * a trainable **bench-scale** [`adr_nn::Network`] with reduced spatial
+//!   dimensions / channel counts that keeps the same depth and relative
+//!   K-growth, so adaptive-deep-reuse behaviour is preserved at CPU-feasible
+//!   cost (see DESIGN.md "Substitutions"). CifarNet is small enough that its
+//!   paper-scale network is also constructible.
+//!
+//! Every convolution can be built dense ([`ConvMode::Dense`]) or with deep
+//! reuse ([`ConvMode::Reuse`]), so the same topology serves as baseline and
+//! optimised network.
+
+#![warn(missing_docs)]
+
+pub mod alexnet;
+pub mod cifarnet;
+pub mod spec;
+pub mod vgg19;
+
+use adr_nn::conv::Conv2d;
+use adr_nn::Layer;
+use adr_reuse::{ReuseConfig, ReuseConv2d};
+use adr_tensor::im2col::ConvGeom;
+use adr_tensor::rng::AdrRng;
+
+pub use spec::{ConvSpec, ModelSpec};
+
+/// Whether convolutions are built dense or with deep reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvMode {
+    /// Plain im2col convolution (the paper's baseline).
+    Dense,
+    /// Deep-reuse convolution with this initial configuration. The adaptive
+    /// controller may retune it later.
+    Reuse(ReuseConfig),
+}
+
+impl ConvMode {
+    /// Builds one convolution layer in this mode.
+    pub fn build(
+        &self,
+        name: &str,
+        geom: ConvGeom,
+        out_channels: usize,
+        rng: &mut AdrRng,
+    ) -> Box<dyn Layer> {
+        match *self {
+            ConvMode::Dense => Box::new(Conv2d::new(name, geom, out_channels, rng)),
+            ConvMode::Reuse(cfg) => {
+                Box::new(ReuseConv2d::new(name, geom, out_channels, cfg, rng))
+            }
+        }
+    }
+
+    /// A sensible initial reuse mode: the most aggressive Policy-1 setting
+    /// is applied later by the controller, so layers start with `L = kw`,
+    /// `H = 8`, `CR = 0` merely as placeholders.
+    pub fn reuse_default() -> Self {
+        ConvMode::Reuse(ReuseConfig::new(8, 8, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_mode_builds_both_kinds() {
+        let mut rng = AdrRng::seeded(1);
+        let geom = ConvGeom::new(8, 8, 3, 3, 3, 1, 1).unwrap();
+        let dense = ConvMode::Dense.build("d", geom, 4, &mut rng);
+        assert_eq!(dense.name(), "d");
+        let reuse = ConvMode::reuse_default().build("r", geom, 4, &mut rng);
+        assert_eq!(reuse.name(), "r");
+        assert!(matches!(ConvMode::reuse_default(), ConvMode::Reuse(_)));
+    }
+}

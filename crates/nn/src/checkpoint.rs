@@ -1,0 +1,304 @@
+//! Parameter checkpointing.
+//!
+//! Saves and restores the learnable parameters of a network whose
+//! architecture is reconstructed by code (the model builders in
+//! `adr-models` are deterministic, so architecture is never serialised —
+//! only the parameter values). The format is a small versioned binary
+//! layout: magic, version, slot count, then per-slot length + little-endian
+//! `f32` data.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::network::Network;
+
+const MAGIC: &[u8; 4] = b"ADR1";
+const VERSION: u32 = 2;
+
+/// A snapshot of every learnable parameter of a network (in layer order)
+/// plus non-learnable layer state (batch-norm running statistics, ...).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    slots: Vec<Vec<f32>>,
+    state: Vec<Vec<f32>>,
+}
+
+impl Checkpoint {
+    /// Captures the current parameters and layer state of `net`.
+    pub fn capture(net: &mut Network) -> Self {
+        let slots = net
+            .layers_mut()
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .map(|p| p.data.to_vec())
+            .collect();
+        let state = net
+            .layers_mut()
+            .iter_mut()
+            .flat_map(|l| l.state_buffers())
+            .map(|s| s.to_vec())
+            .collect();
+        Self { slots, state }
+    }
+
+    /// Number of parameter slots (weights + biases across layers).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Number of non-learnable state buffers.
+    pub fn num_state_buffers(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Restores the captured parameters into `net`.
+    ///
+    /// # Errors
+    /// Returns a description when the network's parameter slots disagree
+    /// with the checkpoint (different architecture).
+    pub fn restore(&self, net: &mut Network) -> Result<(), String> {
+        // Validate both sections fully before any write, so a mismatch
+        // never leaves the network partially restored.
+        {
+            let params: Vec<_> =
+                net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
+            if params.len() != self.slots.len() {
+                return Err(format!(
+                    "checkpoint has {} parameter slots, network has {}",
+                    self.slots.len(),
+                    params.len()
+                ));
+            }
+            for (i, (p, saved)) in params.iter().zip(&self.slots).enumerate() {
+                if p.data.len() != saved.len() {
+                    return Err(format!(
+                        "slot {i}: checkpoint holds {} values, network expects {}",
+                        saved.len(),
+                        p.data.len()
+                    ));
+                }
+            }
+        }
+        {
+            let state: Vec<_> =
+                net.layers_mut().iter_mut().flat_map(|l| l.state_buffers()).collect();
+            if state.len() != self.state.len() {
+                return Err(format!(
+                    "checkpoint has {} state buffers, network has {}",
+                    self.state.len(),
+                    state.len()
+                ));
+            }
+            for (i, (s, saved)) in state.iter().zip(&self.state).enumerate() {
+                if s.len() != saved.len() {
+                    return Err(format!(
+                        "state buffer {i}: checkpoint holds {} values, network expects {}",
+                        saved.len(),
+                        s.len()
+                    ));
+                }
+            }
+        }
+        let mut params: Vec<_> =
+            net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
+        for (p, saved) in params.iter_mut().zip(&self.slots) {
+            p.data.copy_from_slice(saved);
+        }
+        drop(params);
+        let mut state: Vec<_> =
+            net.layers_mut().iter_mut().flat_map(|l| l.state_buffers()).collect();
+        for (s, saved) in state.iter_mut().zip(&self.state) {
+            s.copy_from_slice(saved);
+        }
+        Ok(())
+    }
+
+    /// Serialises into a writer.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        for section in [&self.slots, &self.state] {
+            w.write_all(&(section.len() as u64).to_le_bytes())?;
+            for slot in section {
+                w.write_all(&(slot.len() as u64).to_le_bytes())?;
+                for &v in slot {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialises from a reader.
+    ///
+    /// # Errors
+    /// Fails on I/O errors, bad magic, or unsupported versions.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an ADR checkpoint"));
+        }
+        let mut buf4 = [0u8; 4];
+        r.read_exact(&mut buf4)?;
+        let version = u32::from_le_bytes(buf4);
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        let mut buf8 = [0u8; 8];
+        let mut read_section = |r: &mut dyn Read| -> io::Result<Vec<Vec<f32>>> {
+            r.read_exact(&mut buf8)?;
+            let num_slots = u64::from_le_bytes(buf8) as usize;
+            let mut slots = Vec::with_capacity(num_slots.min(1 << 20));
+            for _ in 0..num_slots {
+                r.read_exact(&mut buf8)?;
+                let len = u64::from_le_bytes(buf8) as usize;
+                let mut bytes = vec![0u8; len * 4];
+                r.read_exact(&mut bytes)?;
+                let slot = bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                slots.push(slot);
+            }
+            Ok(slots)
+        };
+        let slots = read_section(r)?;
+        let state = read_section(r)?;
+        Ok(Self { slots, state })
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut file)
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    /// Propagates I/O and format errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::dense::Dense;
+    use crate::relu::Relu;
+    use crate::{Mode, Sgd};
+    use adr_tensor::im2col::ConvGeom;
+    use adr_tensor::rng::AdrRng;
+    use adr_tensor::Tensor4;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = AdrRng::seeded(seed);
+        let mut net = Network::new((5, 5, 1));
+        let geom = ConvGeom::new(5, 5, 1, 3, 3, 1, 0).unwrap();
+        net.push(Box::new(Conv2d::new("conv", geom, 2, &mut rng)));
+        net.push(Box::new(Relu::new("relu")));
+        net.push(Box::new(Dense::new("fc", 3 * 3 * 2, 2, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let mut a = net(1);
+        let snap = Checkpoint::capture(&mut a);
+        assert_eq!(snap.num_slots(), 4); // conv w+b, dense w+b
+        // Train a bit; parameters drift. Gaussian input keeps ReLUs alive
+        // and distinct images give a non-degenerate loss gradient.
+        let mut sgd = Sgd::constant(0.1);
+        let mut xrng = AdrRng::seeded(9);
+        let x = Tensor4::from_fn(2, 5, 5, 1, |_, _, _, _| xrng.gauss());
+        for _ in 0..5 {
+            a.train_batch(&x, &[0, 1], &mut sgd);
+        }
+        let drifted = Checkpoint::capture(&mut a);
+        assert_ne!(snap, drifted);
+        // Restore: parameters revert exactly.
+        snap.restore(&mut a).unwrap();
+        assert_eq!(Checkpoint::capture(&mut a), snap);
+    }
+
+    #[test]
+    fn serialised_round_trip_is_bit_exact() {
+        let mut a = net(2);
+        let snap = Checkpoint::capture(&mut a);
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.num_scalars(), snap.num_scalars());
+    }
+
+    #[test]
+    fn file_round_trip_transfers_behaviour() {
+        let dir = std::env::temp_dir().join("adr_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.adr");
+        let mut trained = net(3);
+        let mut sgd = Sgd::constant(0.05);
+        let x = Tensor4::from_fn(2, 5, 5, 1, |_, y, xx, _| (y * 5 + xx) as f32 * 0.05);
+        for _ in 0..10 {
+            trained.train_batch(&x, &[0, 1], &mut sgd);
+        }
+        Checkpoint::capture(&mut trained).save(&path).unwrap();
+        // A freshly built net with different seed gives different logits...
+        let mut fresh = net(4);
+        let before = fresh.forward(&x, Mode::Eval);
+        // ...until the checkpoint is loaded.
+        Checkpoint::load(&path).unwrap().restore(&mut fresh).unwrap();
+        let after = fresh.forward(&x, Mode::Eval);
+        let expected = trained.forward(&x, Mode::Eval);
+        assert_ne!(before.as_slice(), after.as_slice());
+        assert_eq!(after.as_slice(), expected.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_architecture() {
+        let mut a = net(5);
+        let snap = Checkpoint::capture(&mut a);
+        let mut rng = AdrRng::seeded(6);
+        let mut other = Network::new((5, 5, 1));
+        other.push(Box::new(Dense::new("fc", 25, 3, &mut rng)));
+        let err = snap.restore(&mut other).unwrap_err();
+        assert!(err.contains("slots"), "{err}");
+        // Partial mismatch (right slot count, wrong sizes) is also refused
+        // without mutating anything.
+        let mut rng = AdrRng::seeded(7);
+        let mut same_count = Network::new((5, 5, 1));
+        let geom = ConvGeom::new(5, 5, 1, 3, 3, 1, 0).unwrap();
+        same_count.push(Box::new(Conv2d::new("conv", geom, 3, &mut rng)));
+        same_count.push(Box::new(Dense::new("fc", 3 * 3 * 3, 2, &mut rng)));
+        let before = Checkpoint::capture(&mut same_count);
+        assert!(snap.restore(&mut same_count).is_err());
+        assert_eq!(Checkpoint::capture(&mut same_count), before, "no partial writes");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = b"NOPE\x01\x00\x00\x00";
+        let err = Checkpoint::read_from(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

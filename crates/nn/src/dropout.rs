@@ -1,0 +1,126 @@
+//! Inverted dropout.
+
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Tensor4;
+
+use crate::layer::{Layer, Mode, Shape3};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by `1/(1-rate)`, so eval-mode
+/// forward passes are identity.
+pub struct Dropout {
+    name: String,
+    rate: f32,
+    rng: AdrRng,
+    /// Keep-mask of the latest training forward (already includes scaling).
+    scale_mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn new(name: impl Into<String>, rate: f32, rng: AdrRng) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Self { name: name.into(), rate, rng, scale_mask: Vec::new() }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        input
+    }
+
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.scale_mask.clear();
+            self.scale_mask.resize(input.len(), 1.0);
+            return input.clone();
+        }
+        let keep_scale = 1.0 / (1.0 - self.rate);
+        self.scale_mask.clear();
+        self.scale_mask.reserve(input.len());
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            let keep = self.rng.uniform() >= self.rate;
+            let s = if keep { keep_scale } else { 0.0 };
+            self.scale_mask.push(s);
+            *v *= s;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        assert_eq!(
+            grad_out.len(),
+            self.scale_mask.len(),
+            "dropout {}: backward shape mismatch",
+            self.name
+        );
+        let mut grad = grad_out.clone();
+        for (g, &s) in grad.as_mut_slice().iter_mut().zip(self.scale_mask.iter()) {
+            *g *= s;
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("d", 0.5, AdrRng::seeded(1));
+        let x = Tensor4::from_vec(1, 1, 1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_rate_fraction() {
+        let mut d = Dropout::new("d", 0.5, AdrRng::seeded(2));
+        let x = Tensor4::from_vec(1, 1, 1, 10_000, vec![1.0; 10_000]).unwrap();
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "zeros {zeros}");
+        // Survivors scaled to preserve expectation.
+        let mean = y.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new("d", 0.5, AdrRng::seeded(3));
+        let x = Tensor4::from_vec(1, 1, 1, 8, vec![1.0; 8]).unwrap();
+        let y = d.forward(&x, Mode::Train);
+        let g = Tensor4::from_vec(1, 1, 1, 8, vec![1.0; 8]).unwrap();
+        let gx = d.backward(&g);
+        // Gradient passes exactly where activations passed.
+        for (yv, gv) in y.as_slice().iter().zip(gx.as_slice()) {
+            assert_eq!(yv, gv);
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_drops() {
+        let mut d = Dropout::new("d", 0.0, AdrRng::seeded(4));
+        let x = Tensor4::from_vec(1, 1, 1, 16, vec![2.0; 16]).unwrap();
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn invalid_rate_panics() {
+        Dropout::new("d", 1.0, AdrRng::seeded(5));
+    }
+}

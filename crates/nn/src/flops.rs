@@ -1,0 +1,129 @@
+//! Exact multiply–add accounting.
+//!
+//! The paper reports computation savings through complexity formulas
+//! (Eqs. 5/6/12/20) that count multiply–adds. Every layer in this workspace
+//! meters the multiply–adds it *actually* performs, and reuse layers also
+//! report what a dense implementation *would have* performed, so savings can
+//! be stated exactly rather than estimated.
+
+/// Forward/backward multiply–add counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlopReport {
+    /// Multiply–adds in forward passes.
+    pub forward: u64,
+    /// Multiply–adds in backward passes.
+    pub backward: u64,
+}
+
+impl FlopReport {
+    /// Forward + backward.
+    pub fn total(&self) -> u64 {
+        self.forward + self.backward
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &FlopReport) -> FlopReport {
+        FlopReport {
+            forward: self.forward + other.forward,
+            backward: self.backward + other.backward,
+        }
+    }
+}
+
+/// A resettable accumulator layers embed to meter their work.
+#[derive(Clone, Debug, Default)]
+pub struct FlopMeter {
+    actual: FlopReport,
+    baseline: FlopReport,
+}
+
+impl FlopMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records forward multiply–adds; for dense layers `baseline == actual`.
+    pub fn add_forward(&mut self, actual: u64, baseline: u64) {
+        self.actual.forward += actual;
+        self.baseline.forward += baseline;
+    }
+
+    /// Records backward multiply–adds.
+    pub fn add_backward(&mut self, actual: u64, baseline: u64) {
+        self.actual.backward += actual;
+        self.baseline.backward += baseline;
+    }
+
+    /// Work actually performed.
+    pub fn actual(&self) -> FlopReport {
+        self.actual
+    }
+
+    /// Work a dense implementation would have performed.
+    pub fn baseline(&self) -> FlopReport {
+        self.baseline
+    }
+
+    /// Fraction of baseline work avoided, in `[0, 1]`; zero when no baseline
+    /// work has been recorded.
+    pub fn savings(&self) -> f64 {
+        let base = self.baseline.total();
+        if base == 0 {
+            return 0.0;
+        }
+        1.0 - self.actual.total() as f64 / base as f64
+    }
+
+    /// Zeroes both counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_total_and_merge() {
+        let a = FlopReport { forward: 10, backward: 20 };
+        let b = FlopReport { forward: 1, backward: 2 };
+        assert_eq!(a.total(), 30);
+        assert_eq!(a.merged(&b), FlopReport { forward: 11, backward: 22 });
+    }
+
+    #[test]
+    fn meter_tracks_savings() {
+        let mut m = FlopMeter::new();
+        m.add_forward(30, 100);
+        m.add_backward(20, 100);
+        assert_eq!(m.actual().total(), 50);
+        assert_eq!(m.baseline().total(), 200);
+        assert!((m.savings() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_is_zero_without_baseline() {
+        let m = FlopMeter::new();
+        assert_eq!(m.savings(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = FlopMeter::new();
+        m.add_forward(5, 5);
+        m.reset();
+        assert_eq!(m.actual(), FlopReport::default());
+        assert_eq!(m.baseline(), FlopReport::default());
+    }
+
+    #[test]
+    fn negative_savings_when_overhead_dominates() {
+        // Hashing overhead can exceed a small layer's dense cost
+        // (paper: benefit requires H << M(1 - r_c)).
+        let mut m = FlopMeter::new();
+        m.add_forward(150, 100);
+        assert!(m.savings() < 0.0);
+    }
+}

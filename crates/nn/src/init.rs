@@ -1,0 +1,78 @@
+//! Weight initialisation schemes.
+
+use adr_tensor::rng::AdrRng;
+
+/// Initialisation scheme for a weight tensor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Init {
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`. The right choice in
+    /// front of ReLU activations, used for every conv/dense layer here.
+    HeNormal,
+    /// Xavier/Glorot uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Fills `out` according to the scheme.
+    pub fn fill(&self, out: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut AdrRng) {
+        match self {
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                for v in out {
+                    *v = rng.gauss_with(0.0, std);
+                }
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                for v in out {
+                    *v = rng.uniform_in(-bound, bound);
+                }
+            }
+            Init::Zeros => out.fill(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = AdrRng::seeded(3);
+        let mut buf = vec![0.0f32; 10_000];
+        Init::HeNormal.fill(&mut buf, 50, 10, &mut rng);
+        let var = buf.iter().map(|v| v * v).sum::<f32>() / buf.len() as f32;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var}, expected {expected}");
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut rng = AdrRng::seeded(4);
+        let mut buf = vec![0.0f32; 1000];
+        Init::XavierUniform.fill(&mut buf, 30, 70, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(buf.iter().all(|v| v.abs() <= bound));
+        assert!(buf.iter().any(|v| v.abs() > bound * 0.5), "samples should spread");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = AdrRng::seeded(5);
+        let mut buf = vec![1.0f32; 8];
+        Init::Zeros.fill(&mut buf, 1, 1, &mut rng);
+        assert!(buf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let mut a = vec![0.0f32; 16];
+        let mut b = vec![0.0f32; 16];
+        Init::HeNormal.fill(&mut a, 4, 4, &mut AdrRng::seeded(9));
+        Init::HeNormal.fill(&mut b, 4, 4, &mut AdrRng::seeded(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,285 @@
+//! Sequential network container with a softmax cross-entropy head.
+
+use adr_tensor::Tensor4;
+
+use crate::flops::FlopReport;
+use crate::layer::{Layer, Mode, Shape3};
+use crate::optimizer::Optimizer;
+use crate::sgd::Sgd;
+use crate::softmax::{accuracy, softmax_cross_entropy};
+
+/// Result of a single training step.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Mean cross-entropy loss for the batch.
+    pub loss: f32,
+    /// Number of correct argmax predictions in the batch.
+    pub correct: usize,
+    /// Batch size.
+    pub batch_size: usize,
+}
+
+/// Result of an evaluation pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalResult {
+    /// Mean loss.
+    pub loss: f32,
+    /// Accuracy in `[0, 1]`.
+    pub accuracy: f32,
+}
+
+/// A feed-forward stack of layers ending in class logits.
+///
+/// Shape compatibility is validated as layers are pushed, so construction
+/// errors surface at model-build time rather than on the first batch.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    input_shape: Shape3,
+    current_shape: Shape3,
+}
+
+impl Network {
+    /// Creates an empty network expecting inputs of the given per-image shape.
+    pub fn new(input_shape: Shape3) -> Self {
+        Self { layers: Vec::new(), input_shape, current_shape: input_shape }
+    }
+
+    /// Appends a layer, validating shape compatibility.
+    ///
+    /// # Panics
+    /// Panics (inside the layer's `output_shape`) when the layer cannot
+    /// accept the current activation shape.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.current_shape = layer.output_shape(self.current_shape);
+        self.layers.push(layer);
+        self
+    }
+
+    /// The expected per-image input shape.
+    pub fn input_shape(&self) -> Shape3 {
+        self.input_shape
+    }
+
+    /// The per-image output (logit) shape.
+    pub fn output_shape(&self) -> Shape3 {
+        self.current_shape
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow the layer stack (for adaptive controllers to inspect).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layer stack (for adaptive controllers to retune).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Total learnable scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .map(|p| p.data.len())
+            .sum()
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    /// Backward pass from the loss gradient down to the input gradient.
+    pub fn backward(&mut self, grad: &Tensor4) -> Tensor4 {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// One SGD step on a labelled batch: forward, loss, backward, update.
+    pub fn train_batch(&mut self, images: &Tensor4, labels: &[usize], sgd: &mut Sgd) -> StepResult {
+        self.train_batch_with(images, labels, sgd)
+    }
+
+    /// [`Network::train_batch`] with any [`Optimizer`] (SGD, Adam, ...).
+    pub fn train_batch_with(
+        &mut self,
+        images: &Tensor4,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> StepResult {
+        let logits = self.forward(images, Mode::Train);
+        let loss_out = softmax_cross_entropy(&logits, labels);
+        self.backward(&loss_out.grad);
+        let mut params: Vec<_> = self.layers.iter_mut().flat_map(|l| l.params_mut()).collect();
+        optimizer.step(&mut params);
+        let correct = loss_out
+            .predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        StepResult { loss: loss_out.loss, correct, batch_size: labels.len() }
+    }
+
+    /// Loss and accuracy on a labelled batch without updating weights.
+    pub fn evaluate(&mut self, images: &Tensor4, labels: &[usize]) -> EvalResult {
+        let logits = self.forward(images, Mode::Eval);
+        let out = softmax_cross_entropy(&logits, labels);
+        EvalResult { loss: out.loss, accuracy: accuracy(&out.predictions, labels) }
+    }
+
+    /// Argmax class predictions for a batch.
+    pub fn predict(&mut self, images: &Tensor4) -> Vec<usize> {
+        let logits = self.forward(images, Mode::Eval);
+        let (n, _, _, c) = logits.shape();
+        (0..n)
+            .map(|b| {
+                logits.as_slice()[b * c..(b + 1) * c]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Multiply–adds actually performed across all layers.
+    pub fn flops(&self) -> FlopReport {
+        self.layers
+            .iter()
+            .fold(FlopReport::default(), |acc, l| acc.merged(&l.flops()))
+    }
+
+    /// Multiply–adds a fully dense network would have performed.
+    pub fn baseline_flops(&self) -> FlopReport {
+        self.layers
+            .iter()
+            .fold(FlopReport::default(), |acc, l| acc.merged(&l.baseline_flops()))
+    }
+
+    /// Resets all layer FLOP counters.
+    pub fn reset_flops(&mut self) {
+        for l in &mut self.layers {
+            l.reset_flops();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv2d;
+    use crate::dense::Dense;
+    use crate::pool::Pool2d;
+    use crate::relu::Relu;
+    use adr_tensor::im2col::ConvGeom;
+    use adr_tensor::rng::AdrRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = AdrRng::seeded(seed);
+        let mut net = Network::new((6, 6, 1));
+        let geom = ConvGeom::new(6, 6, 1, 3, 3, 1, 0).unwrap();
+        net.push(Box::new(Conv2d::new("conv1", geom, 4, &mut rng)));
+        net.push(Box::new(Relu::new("relu1")));
+        net.push(Box::new(Pool2d::max("pool1", 2, 2)));
+        net.push(Box::new(Dense::new("fc", 2 * 2 * 4, 3, &mut rng)));
+        net
+    }
+
+    #[test]
+    fn shapes_chain_through_layers() {
+        let net = tiny_net(1);
+        assert_eq!(net.output_shape(), (1, 1, 3));
+        assert_eq!(net.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 99 input features")]
+    fn incompatible_layer_panics_at_push() {
+        let mut rng = AdrRng::seeded(1);
+        let mut net = Network::new((4, 4, 1));
+        // Wrong feature count for the 4x4x1 input.
+        net.push(Box::new(Dense::new("fc", 99, 3, &mut rng)));
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = tiny_net(2);
+        let x = Tensor4::zeros(5, 6, 6, 1);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (5, 1, 1, 3));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_toy_data() {
+        let mut net = tiny_net(3);
+        let mut sgd = Sgd::constant(0.05);
+        // Three classes distinguished by which image third is bright.
+        let make_batch = || {
+            let mut data = Vec::new();
+            let labels = vec![0usize, 1, 2];
+            for cls in 0..3 {
+                for y in 0..6 {
+                    for _x in 0..6 {
+                        let bright = y / 2 == cls;
+                        data.push(if bright { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+            (Tensor4::from_vec(3, 6, 6, 1, data).unwrap(), labels)
+        };
+        let (images, labels) = make_batch();
+        let first = net.train_batch(&images, &labels, &mut sgd).loss;
+        let mut last = first;
+        for _ in 0..60 {
+            last = net.train_batch(&images, &labels, &mut sgd).loss;
+        }
+        assert!(last < first * 0.5, "loss did not drop: {first} -> {last}");
+        let eval = net.evaluate(&images, &labels);
+        assert!(eval.accuracy > 0.99, "accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn flops_accumulate_and_reset() {
+        let mut net = tiny_net(4);
+        net.forward(&Tensor4::zeros(1, 6, 6, 1), Mode::Eval);
+        assert!(net.flops().forward > 0);
+        net.reset_flops();
+        assert_eq!(net.flops(), FlopReport::default());
+    }
+
+    #[test]
+    fn predict_matches_evaluate_argmax() {
+        let mut net = tiny_net(5);
+        let x = Tensor4::from_fn(2, 6, 6, 1, |n, y, _, _| (n + y) as f32 * 0.1);
+        let preds = net.predict(&x);
+        assert_eq!(preds.len(), 2);
+        assert!(preds.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn param_count_is_positive_and_stable() {
+        let mut net = tiny_net(6);
+        let count = net.param_count();
+        // conv: 9*4 + 4, fc: 16*3 + 3
+        assert_eq!(count, 36 + 4 + 48 + 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Spatial pooling layers.
+
+use adr_tensor::Tensor4;
+
+use crate::layer::{Layer, Mode, Shape3};
+
+/// Pooling operator choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Maximum over the window; backward routes gradient to the argmax.
+    Max,
+    /// Mean over the window; backward spreads gradient uniformly.
+    Avg,
+}
+
+/// A 2-D pooling layer with square window and stride.
+pub struct Pool2d {
+    name: String,
+    kind: PoolKind,
+    window: usize,
+    stride: usize,
+    /// For max pooling: flat input index chosen per output element.
+    argmax: Vec<usize>,
+    in_shape: Shape3,
+    batch: usize,
+}
+
+impl Pool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    /// Panics if `window == 0 || stride == 0`.
+    pub fn new(name: impl Into<String>, kind: PoolKind, window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool window/stride must be positive");
+        Self {
+            name: name.into(),
+            kind,
+            window,
+            stride,
+            argmax: Vec::new(),
+            in_shape: (0, 0, 0),
+            batch: 0,
+        }
+    }
+
+    /// Max pooling constructor shorthand.
+    pub fn max(name: impl Into<String>, window: usize, stride: usize) -> Self {
+        Self::new(name, PoolKind::Max, window, stride)
+    }
+
+    /// Average pooling constructor shorthand.
+    pub fn avg(name: impl Into<String>, window: usize, stride: usize) -> Self {
+        Self::new(name, PoolKind::Avg, window, stride)
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "pool {}: window {} does not fit input {}x{}",
+            self.name,
+            self.window,
+            h,
+            w
+        );
+        ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
+    }
+}
+
+impl Layer for Pool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        let (oh, ow) = self.out_hw(input.0, input.1);
+        (oh, ow, input.2)
+    }
+
+    fn forward(&mut self, input: &Tensor4, _mode: Mode) -> Tensor4 {
+        let (n, h, w, c) = input.shape();
+        let (oh, ow) = self.out_hw(h, w);
+        self.in_shape = (h, w, c);
+        self.batch = n;
+        let mut out = Tensor4::zeros(n, oh, ow, c);
+        if self.kind == PoolKind::Max {
+            self.argmax.clear();
+            self.argmax.resize(n * oh * ow * c, 0);
+        }
+        let inv_area = 1.0 / (self.window * self.window) as f32;
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    for ch in 0..c {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        let mut sum = 0.0f32;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let y = oy * self.stride + ky;
+                                let x = ox * self.stride + kx;
+                                let idx = input.offset(b, y, x, ch);
+                                let v = input.as_slice()[idx];
+                                sum += v;
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let out_idx = out.offset(b, oy, ox, ch);
+                        match self.kind {
+                            PoolKind::Max => {
+                                out.as_mut_slice()[out_idx] = best;
+                                self.argmax[out_idx] = best_idx;
+                            }
+                            PoolKind::Avg => out.as_mut_slice()[out_idx] = sum * inv_area,
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let (h, w, c) = self.in_shape;
+        let mut grad_in = Tensor4::zeros(self.batch, h, w, c);
+        match self.kind {
+            PoolKind::Max => {
+                assert_eq!(
+                    grad_out.len(),
+                    self.argmax.len(),
+                    "pool {}: backward shape mismatch",
+                    self.name
+                );
+                for (out_idx, &g) in grad_out.as_slice().iter().enumerate() {
+                    grad_in.as_mut_slice()[self.argmax[out_idx]] += g;
+                }
+            }
+            PoolKind::Avg => {
+                let (n, oh, ow, _) = grad_out.shape();
+                let inv_area = 1.0 / (self.window * self.window) as f32;
+                for b in 0..n {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            for ch in 0..c {
+                                let g = grad_out.get(b, oy, ox, ch) * inv_area;
+                                for ky in 0..self.window {
+                                    for kx in 0..self.window {
+                                        *grad_in.get_mut(b, oy * self.stride + ky, ox * self.stride + kx, ch) += g;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_maxima() {
+        let mut pool = Pool2d::max("p", 2, 2);
+        let x = Tensor4::from_vec(1, 2, 2, 1, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        let y = pool.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (1, 1, 1, 1));
+        assert_eq!(y.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut pool = Pool2d::max("p", 2, 2);
+        let x = Tensor4::from_vec(1, 2, 2, 1, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        pool.forward(&x, Mode::Train);
+        let g = Tensor4::from_vec(1, 1, 1, 1, vec![7.0]).unwrap();
+        let gx = pool.backward(&g);
+        assert_eq!(gx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages_and_spreads() {
+        let mut pool = Pool2d::avg("p", 2, 2);
+        let x = Tensor4::from_vec(1, 2, 2, 1, vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let y = pool.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[3.0]);
+        let gx = pool.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![4.0]).unwrap());
+        assert_eq!(gx.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_gradient() {
+        // 3x3 input, 2x2 window, stride 1: centre pixel is in all 4 windows.
+        let mut pool = Pool2d::max("p", 2, 1);
+        // Make centre the max of every window.
+        let x = Tensor4::from_fn(1, 3, 3, 1, |_, y, xx, _| if (y, xx) == (1, 1) { 9.0 } else { 0.0 });
+        pool.forward(&x, Mode::Train);
+        let g = Tensor4::from_vec(1, 2, 2, 1, vec![1.0; 4]).unwrap();
+        let gx = pool.backward(&g);
+        assert_eq!(gx.get(0, 1, 1, 0), 4.0);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let mut pool = Pool2d::max("p", 2, 2);
+        let x = Tensor4::from_fn(1, 2, 2, 2, |_, y, xx, c| {
+            if c == 0 { (y * 2 + xx) as f32 } else { -(y as f32 * 2.0 + xx as f32) }
+        });
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.get(0, 0, 0, 0), 3.0);
+        assert_eq!(y.get(0, 0, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn output_shape_matches_formula() {
+        let pool = Pool2d::max("p", 3, 2);
+        assert_eq!(pool.output_shape((7, 9, 4)), (3, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn window_larger_than_input_panics() {
+        let pool = Pool2d::max("p", 5, 1);
+        pool.output_shape((4, 4, 1));
+    }
+}

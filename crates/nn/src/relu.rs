@@ -1,0 +1,104 @@
+//! Rectified linear activation.
+
+use adr_tensor::Tensor4;
+
+use crate::layer::{Layer, Mode, Shape3};
+
+/// Element-wise `max(0, x)` with a cached pass-through mask for backward.
+pub struct Relu {
+    name: String,
+    /// `true` where the forward input was positive.
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), mask: Vec::new() }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        input
+    }
+
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let mut out = input.clone();
+        if mode == Mode::Train {
+            self.mask.clear();
+            self.mask.reserve(out.len());
+            for v in out.as_mut_slice() {
+                self.mask.push(*v > 0.0);
+                if *v <= 0.0 {
+                    *v = 0.0;
+                }
+            }
+        } else {
+            for v in out.as_mut_slice() {
+                if *v <= 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "relu {}: backward called with mismatched shape or without training forward",
+            self.name
+        );
+        let mut grad = grad_out.clone();
+        for (g, &keep) in grad.as_mut_slice().iter_mut().zip(self.mask.iter()) {
+            if !keep {
+                *g = 0.0;
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new("r");
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![-1.0, 2.0, 0.0, -3.5]).unwrap();
+        let y = relu.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient_by_mask() {
+        let mut relu = Relu::new("r");
+        let x = Tensor4::from_vec(1, 1, 2, 2, vec![-1.0, 2.0, 0.0, 3.0]).unwrap();
+        relu.forward(&x, Mode::Train);
+        let g = Tensor4::from_vec(1, 1, 2, 2, vec![10.0, 10.0, 10.0, 10.0]).unwrap();
+        let gx = relu.backward(&g);
+        assert_eq!(gx.as_slice(), &[0.0, 10.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_input_is_not_passed_through() {
+        // Subgradient choice at 0: block (mask is strict >).
+        let mut relu = Relu::new("r");
+        relu.forward(&Tensor4::from_vec(1, 1, 1, 1, vec![0.0]).unwrap(), Mode::Train);
+        let gx = relu.backward(&Tensor4::from_vec(1, 1, 1, 1, vec![5.0]).unwrap());
+        assert_eq!(gx.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn shape_is_preserved() {
+        let relu = Relu::new("r");
+        assert_eq!(relu.output_shape((4, 5, 6)), (4, 5, 6));
+    }
+}

@@ -1,0 +1,240 @@
+//! Backward propagation that reuses the forward clustering (§IV).
+//!
+//! The paper's central efficiency claim: no re-clustering happens in the
+//! backward pass. For each sub-matrix `I` with forward clustering `C_I` and
+//! centroid matrix `x_{c,I}`:
+//!
+//! * **Weight gradient** (Eqs. 7–10): member rows of `δy` are first summed
+//!   per cluster into `δy_{c,I,s}` (cheap adds), then one small GEMM gives
+//!   `∇W_I = x_{c,I}ᵀ · δy_{c,I,s}`.
+//! * **Input delta** (Eqs. 13–18): per-cluster *means* `δy_{c,I,sa}` are
+//!   multiplied by `W_Iᵀ` to get centroid input-gradients, which every
+//!   member of the cluster then shares.
+
+use adr_clustering::assign::ClusterTable;
+use adr_tensor::matrix::Matrix;
+
+use crate::subvec::SubVecSplit;
+
+/// Gradients produced by the reuse backward pass.
+#[derive(Debug)]
+pub struct BackwardOutcome {
+    /// `K × M` weight gradient.
+    pub weight_grad: Matrix,
+    /// Length-`M` bias gradient.
+    pub bias_grad: Vec<f32>,
+    /// `N × K` gradient w.r.t. the unfolded input (fold with `col2im`).
+    pub delta_x_unf: Matrix,
+    /// Multiply–adds actually performed.
+    pub flops: u64,
+}
+
+/// Runs the reuse backward pass from the forward clustering.
+///
+/// * `tables`/`centroids` — per-sub-matrix clustering recorded by
+///   [`crate::forward::reuse_forward`].
+/// * `split` — the same sub-vector partition used forward.
+/// * `weight` — the `K × M` weight matrix.
+/// * `delta_y` — the `N × M` output gradient.
+///
+/// # Panics
+/// Panics on dimension disagreements.
+pub fn reuse_backward(
+    tables: &[ClusterTable],
+    centroids: &[Matrix],
+    split: &SubVecSplit,
+    weight: &Matrix,
+    delta_y: &Matrix,
+) -> BackwardOutcome {
+    let (n, m) = delta_y.shape();
+    let k = split.k();
+    assert_eq!(weight.shape(), (k, m), "weight shape disagrees with split/delta_y");
+    assert_eq!(tables.len(), split.num_sub_vectors(), "one table per sub-matrix required");
+    assert_eq!(centroids.len(), tables.len(), "one centroid matrix per sub-matrix required");
+
+    let mut weight_grad = Matrix::zeros(k, m);
+    let mut delta_x_unf = Matrix::zeros(n, k);
+    let mut flops = 0u64;
+
+    for (i, &(start, end)) in split.ranges().iter().enumerate() {
+        let width = end - start;
+        let table = &tables[i];
+        assert_eq!(table.num_rows(), n, "table {i} row count disagrees with delta_y");
+        let cent = &centroids[i];
+        assert_eq!(cent.shape(), (table.num_clusters(), width), "centroid {i} shape mismatch");
+        let num_clusters = table.num_clusters();
+
+        // δy_{c,s}: per-cluster sums of δy rows (Eq. 8).
+        let dy_sum = table.gather_sum(delta_y);
+        flops += ((n - num_clusters) * m) as u64;
+
+        // ∇W_I = x_{c,I}ᵀ · δy_{c,I,s} (Eq. 10).
+        let w_grad_block = cent.matmul_t_a(&dy_sum);
+        flops += (num_clusters * width * m) as u64;
+        weight_grad.set_row_slice(start, &w_grad_block);
+
+        // δy_{c,sa}: per-cluster means (divide the sums by cluster size).
+        let mut dy_mean = dy_sum;
+        for c in 0..num_clusters {
+            let inv = 1.0 / table.count(c as u32) as f32;
+            for v in dy_mean.row_mut(c) {
+                *v *= inv;
+            }
+        }
+
+        // δx_{c,I} = δy_{c,I,sa} · W_Iᵀ (Eq. 18).
+        let w_i = weight.row_slice(start, end);
+        let dx_c = dy_mean.matmul_t_b(&w_i);
+        flops += (num_clusters * width * m) as u64;
+
+        // Every member inherits its cluster centroid's input gradient.
+        for row in 0..n {
+            let c = table.cluster_of(row) as usize;
+            delta_x_unf.row_mut(row)[start..end].copy_from_slice(dx_c.row(c));
+        }
+    }
+
+    let bias_grad = delta_y.column_sums();
+    BackwardOutcome { weight_grad, bias_grad, delta_x_unf, flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_clustering::lsh::LshTable;
+    use adr_tensor::rng::AdrRng;
+
+    use crate::forward::reuse_forward;
+
+    fn setup(
+        n: usize,
+        k: usize,
+        m: usize,
+        l: usize,
+        h: usize,
+        seed: u64,
+    ) -> (Matrix, Matrix, Vec<f32>, SubVecSplit, Vec<LshTable>) {
+        let mut rng = AdrRng::seeded(seed);
+        let x = Matrix::from_fn(n, k, |_, _| rng.gauss());
+        let w = Matrix::from_fn(k, m, |_, _| rng.gauss() * 0.2);
+        let b = vec![0.0; m];
+        let split = SubVecSplit::new(k, l);
+        let lsh = split
+            .ranges()
+            .iter()
+            .map(|&(a, bb)| LshTable::new(bb - a, h, &mut rng))
+            .collect();
+        (x, w, b, split, lsh)
+    }
+
+    /// With all-singleton clusters the reuse backward pass must agree with
+    /// the dense formulas ∇W = xᵀδy and δx = δy·Wᵀ.
+    #[test]
+    fn exact_when_clusters_are_singletons() {
+        let (x, w, b, split, lsh) = setup(12, 8, 4, 8, 40, 1);
+        let fwd = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        assert_eq!(fwd.tables[0].num_clusters(), 12, "need singleton clusters");
+        let mut rng = AdrRng::seeded(2);
+        let dy = Matrix::from_fn(12, 4, |_, _| rng.gauss());
+        let out = reuse_backward(&fwd.tables, &fwd.centroids, &split, &w, &dy);
+        let dense_wgrad = x.matmul_t_a(&dy);
+        let dense_dx = dy.matmul_t_b(&w);
+        assert!(out.weight_grad.max_abs_diff(&dense_wgrad) < 1e-3);
+        assert!(out.delta_x_unf.max_abs_diff(&dense_dx) < 1e-3);
+        assert_eq!(out.bias_grad, dy.column_sums());
+    }
+
+    /// For duplicated rows, clustering is lossless: the weight gradient must
+    /// match the dense gradient exactly because Σ_k x_k δy_k groups exactly.
+    #[test]
+    fn weight_gradient_exact_for_duplicate_rows() {
+        let mut rng = AdrRng::seeded(3);
+        let proto = Matrix::from_fn(3, 6, |_, _| rng.gauss());
+        let x = Matrix::from_fn(30, 6, |r, c| proto[(r % 3, c)]);
+        let w = Matrix::from_fn(6, 5, |_, _| rng.gauss());
+        let b = vec![0.0; 5];
+        let split = SubVecSplit::new(6, 6);
+        let lsh = vec![LshTable::new(6, 12, &mut rng)];
+        let fwd = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        assert_eq!(fwd.tables[0].num_clusters(), 3);
+        let dy = Matrix::from_fn(30, 5, |_, _| rng.gauss());
+        let out = reuse_backward(&fwd.tables, &fwd.centroids, &split, &w, &dy);
+        let dense_wgrad = x.matmul_t_a(&dy);
+        assert!(out.weight_grad.max_abs_diff(&dense_wgrad) < 1e-3);
+    }
+
+    /// The input delta assigns every cluster member the same gradient — the
+    /// cluster-mean of the dense gradients (Eq. 13).
+    #[test]
+    fn input_delta_is_cluster_mean_of_dense_delta() {
+        let mut rng = AdrRng::seeded(4);
+        let proto = Matrix::from_fn(4, 8, |_, _| rng.gauss());
+        let x = Matrix::from_fn(20, 8, |r, c| proto[(r % 4, c)]);
+        let w = Matrix::from_fn(8, 3, |_, _| rng.gauss());
+        let split = SubVecSplit::new(8, 8);
+        let lsh = vec![LshTable::new(8, 14, &mut rng)];
+        let fwd = reuse_forward(&x, &w, &[0.0; 3], &split, &lsh, None, None);
+        let dy = Matrix::from_fn(20, 3, |_, _| rng.gauss());
+        let out = reuse_backward(&fwd.tables, &fwd.centroids, &split, &w, &dy);
+        let dense_dx = dy.matmul_t_b(&w);
+        // Members of a cluster share identical rows equal to the mean.
+        let table = &fwd.tables[0];
+        for c in 0..table.num_clusters() {
+            let members: Vec<usize> =
+                (0..20).filter(|&r| table.cluster_of(r) == c as u32).collect();
+            let mut mean = [0.0f32; 8];
+            for &r in &members {
+                for (s, v) in mean.iter_mut().zip(dense_dx.row(r)) {
+                    *s += v;
+                }
+            }
+            for s in mean.iter_mut() {
+                *s /= members.len() as f32;
+            }
+            for &r in &members {
+                for (a, b) in out.delta_x_unf.row(r).iter().zip(mean.iter()) {
+                    assert!((a - b).abs() < 1e-4, "row {r}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_vector_blocks_fill_whole_weight_gradient() {
+        let (x, w, b, split, lsh) = setup(16, 12, 4, 5, 30, 5);
+        let fwd = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        let mut rng = AdrRng::seeded(6);
+        let dy = Matrix::from_fn(16, 4, |_, _| rng.gauss());
+        let out = reuse_backward(&fwd.tables, &fwd.centroids, &split, &w, &dy);
+        // Every weight row received a (generically) non-zero gradient.
+        for r in 0..12 {
+            let norm: f32 = out.weight_grad.row(r).iter().map(|v| v * v).sum();
+            assert!(norm > 0.0, "weight row {r} got no gradient");
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_cluster_count() {
+        let (x, w, b, split, lsh) = setup(64, 8, 4, 8, 2, 7);
+        let fwd_coarse = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        let dy = Matrix::filled(64, 4, 1.0);
+        let coarse = reuse_backward(&fwd_coarse.tables, &fwd_coarse.centroids, &split, &w, &dy);
+        let (x2, w2, b2, split2, lsh2) = setup(64, 8, 4, 8, 40, 7);
+        let fwd_fine = reuse_forward(&x2, &w2, &b2, &split2, &lsh2, None, None);
+        let fine = reuse_backward(&fwd_fine.tables, &fwd_fine.centroids, &split2, &w2, &dy);
+        assert!(
+            fwd_coarse.tables[0].num_clusters() < fwd_fine.tables[0].num_clusters(),
+            "precondition: H controls cluster count"
+        );
+        assert!(coarse.flops < fine.flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "one table per sub-matrix")]
+    fn wrong_table_count_panics() {
+        let (x, w, b, split, lsh) = setup(8, 8, 2, 4, 8, 9);
+        let fwd = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        let dy = Matrix::zeros(8, 2);
+        reuse_backward(&fwd.tables[..1], &fwd.centroids[..1], &split, &w, &dy);
+    }
+}

@@ -1,0 +1,389 @@
+//! The deep-reuse forward pass (Figs. 2 and 3, Algorithm 1).
+//!
+//! For each sub-matrix `x^(I)` of the unfolded input:
+//!
+//! 1. hash every row with the sub-matrix's LSH family → clusters,
+//! 2. compute the centroid matrix `x_c^(I)` (mean of raw member rows),
+//! 3. compute `y_c^(I) = x_c^(I) · W_I` — only `|C_I|` rows instead of `N`
+//!    (with `CR = 1`, rows whose signature was seen in an earlier batch are
+//!    fetched from the [`ReuseCache`] instead of computed),
+//! 4. reconstruct `y = Σ_I y^(I)` by scattering each `y_c^(I)` row to all
+//!    its member rows.
+//!
+//! Hashing and centroid extraction read column windows of the unfolded
+//! matrix in place (no sub-matrix copies), and the reconstruction runs one
+//! row-parallel pass over all sub-matrices at once — both matter because
+//! clustering overhead is exactly what the paper's profitability condition
+//! `H << M(1 − r_c)` trades against.
+
+use adr_clustering::assign::ClusterTable;
+use adr_clustering::lsh::{cluster_from_signatures_with_bits, LshTable};
+use adr_clustering::reuse_cache::ReuseCache;
+use adr_tensor::matrix::Matrix;
+use adr_tensor::par::matmul_par;
+
+use crate::hashpack::PackedHasher;
+use crate::stats::ReuseStats;
+use crate::subvec::SubVecSplit;
+
+/// Everything a reuse forward pass produces: the output plus the clustering
+/// state the backward pass will consume.
+#[derive(Debug)]
+pub struct ForwardOutcome {
+    /// `N × M` layer output (bias already added).
+    pub output: Matrix,
+    /// Per-sub-matrix clustering of the input rows.
+    pub tables: Vec<ClusterTable>,
+    /// Per-sub-matrix centroid matrices `x_c^(I)` (`|C_I| × L_I`).
+    pub centroids: Vec<Matrix>,
+    /// Observability snapshot.
+    pub stats: ReuseStats,
+}
+
+/// Runs the clustered forward pass.
+///
+/// * `x_unf` — the `N × K` unfolded input.
+/// * `weight` — the `K × M` weight matrix.
+/// * `bias` — length-`M` bias.
+/// * `split` — the sub-vector partition of `0..K`.
+/// * `lsh` — one LSH family per sub-matrix, with `lsh[i].dim() ==
+///   split.width(i)`.
+/// * `caches` — `Some` enables across-batch cluster reuse (Algorithm 1);
+///   must hold one cache per sub-matrix. The caller is responsible for
+///   calling [`ReuseCache::begin_batch`] once per batch.
+/// * `rows_per_image` — `Some(p)` restricts clusters to single-input scope:
+///   rows `i` and `j` may only share a cluster when `i/p == j/p` (§III-B).
+///   `None` is the single-batch scope.
+///
+/// # Panics
+/// Panics on any dimension disagreement between the inputs, or when
+/// single-input scope is combined with caches (contradictory scopes).
+pub fn reuse_forward(
+    x_unf: &Matrix,
+    weight: &Matrix,
+    bias: &[f32],
+    split: &SubVecSplit,
+    lsh: &[LshTable],
+    mut caches: Option<&mut [ReuseCache]>,
+    rows_per_image: Option<usize>,
+) -> ForwardOutcome {
+    let (n, k) = x_unf.shape();
+    let m = weight.cols();
+    assert_eq!(k, split.k(), "split width disagrees with input");
+    assert_eq!(weight.rows(), k, "weight rows disagree with K");
+    assert_eq!(bias.len(), m, "bias length disagrees with M");
+    assert_eq!(lsh.len(), split.num_sub_vectors(), "one LSH family per sub-matrix required");
+    if let Some(ref c) = caches {
+        assert_eq!(c.len(), split.num_sub_vectors(), "one cache per sub-matrix required");
+        assert!(
+            rows_per_image.is_none(),
+            "single-input scope conflicts with across-batch cluster reuse"
+        );
+    }
+    if let Some(p) = rows_per_image {
+        assert!(p > 0 && n % p == 0, "rows_per_image must evenly divide N");
+    }
+
+    let num_subs = split.num_sub_vectors();
+    let mut tables = Vec::with_capacity(num_subs);
+    let mut centroids = Vec::with_capacity(num_subs);
+    let mut cluster_outputs: Vec<Matrix> = Vec::with_capacity(num_subs);
+    let mut stats = ReuseStats { rows: n, num_sub_vectors: num_subs, ..Default::default() };
+    let mut cluster_total = 0usize;
+    let mut reuse_rate_sum = 0.0f64;
+
+    // One streaming pass produces every sub-vector signature (row-major:
+    // sig_all[r * num_subs + i]).
+    let hasher = PackedHasher::new(split, lsh);
+    let sig_all = hasher.hash_all(x_unf);
+
+    for (i, &(start, end)) in split.ranges().iter().enumerate() {
+        let width = end - start;
+        // Single-input scope folds the image index into the cluster key so
+        // clusters never span images; the signature itself stays the pure
+        // LSH output (what the CR cache would key on).
+        let h_bits = hasher.num_hashes();
+        let (table, sigs) = match rows_per_image {
+            None => cluster_from_signatures_with_bits(
+                (0..n).map(|r| sig_all[r * num_subs + i]),
+                h_bits,
+            ),
+            Some(p) => {
+                let img_bits = usize::BITS as usize - (n / p - 1).leading_zeros() as usize;
+                cluster_from_signatures_with_bits(
+                    (0..n).map(|r| {
+                        sig_all[r * num_subs + i] | (((r / p) as u64) << h_bits)
+                    }),
+                    (h_bits + img_bits).min(64),
+                )
+            }
+        };
+        stats.hash_flops += lsh[i].hashing_flops(n);
+        let cent = table.centroids_range(x_unf, start, end);
+        let w_i = weight.row_slice(start, end);
+        let num_clusters = table.num_clusters();
+        cluster_total += num_clusters;
+
+        let y_c = match caches.as_deref_mut() {
+            Some(cache_slice) => {
+                let cache = &mut cache_slice[i];
+                let mut y_c = Matrix::zeros(num_clusters, m);
+                let mut miss_rows: Vec<usize> = Vec::new();
+                for (c, &sig) in sigs.iter().enumerate() {
+                    match cache.probe(sig) {
+                        Some(row) => y_c.row_mut(c).copy_from_slice(row),
+                        None => miss_rows.push(c),
+                    }
+                }
+                if !miss_rows.is_empty() {
+                    // Batch the misses into one GEMM.
+                    let mut miss_cent = Matrix::zeros(miss_rows.len(), width);
+                    for (mi, &c) in miss_rows.iter().enumerate() {
+                        miss_cent.row_mut(mi).copy_from_slice(cent.row(c));
+                    }
+                    let miss_out = matmul_par(&miss_cent, &w_i);
+                    stats.gemm_flops += (miss_rows.len() * width * m) as u64;
+                    for (mi, &c) in miss_rows.iter().enumerate() {
+                        y_c.row_mut(c).copy_from_slice(miss_out.row(mi));
+                        cache.insert(sigs[c], miss_out.row(mi));
+                    }
+                }
+                reuse_rate_sum += cache.mean_reuse_rate();
+                y_c
+            }
+            None => {
+                stats.gemm_flops += (num_clusters * width * m) as u64;
+                matmul_par(&cent, &w_i)
+            }
+        };
+
+        stats.add_flops += (n * m) as u64;
+        tables.push(table);
+        centroids.push(cent);
+        cluster_outputs.push(y_c);
+    }
+
+    // Row-parallel reconstruction: out[r] = bias + Σ_I y_c^(I)[cluster_I(r)].
+    let output = reconstruct(n, m, bias, &tables, &cluster_outputs);
+
+    stats.avg_clusters = cluster_total as f64 / num_subs as f64;
+    stats.avg_remaining_ratio = stats.avg_clusters / n as f64;
+    if caches.is_some() {
+        stats.reuse_rate = reuse_rate_sum / num_subs as f64;
+    }
+    ForwardOutcome { output, tables, centroids, stats }
+}
+
+/// Sums the per-sub-matrix cluster outputs into the `N × M` layer output,
+/// parallelised over disjoint row chunks.
+fn reconstruct(
+    n: usize,
+    m: usize,
+    bias: &[f32],
+    tables: &[ClusterTable],
+    cluster_outputs: &[Matrix],
+) -> Matrix {
+    let mut output = Matrix::zeros(n, m);
+    let hw = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let work = n * m * tables.len();
+    let threads = hw.min((work / (1 << 18)).max(1)).min(n.max(1));
+    if threads <= 1 {
+        let out_slice = output.as_mut_slice();
+        for r in 0..n {
+            let dst = &mut out_slice[r * m..(r + 1) * m];
+            dst.copy_from_slice(bias);
+            for (table, y_c) in tables.iter().zip(cluster_outputs) {
+                let src = y_c.row(table.cluster_of(r) as usize);
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+        return output;
+    }
+    let rows_per = n.div_ceil(threads).max(1);
+    let out_slice = output.as_mut_slice();
+    crossbeam::scope(|scope| {
+        let mut rest = out_slice;
+        let mut row0 = 0usize;
+        while row0 < n {
+            let rows_here = rows_per.min(n - row0);
+            let (chunk, tail) = rest.split_at_mut(rows_here * m);
+            rest = tail;
+            scope.spawn(move |_| {
+                for r in 0..rows_here {
+                    let dst = &mut chunk[r * m..(r + 1) * m];
+                    dst.copy_from_slice(bias);
+                    for (table, y_c) in tables.iter().zip(cluster_outputs) {
+                        let src = y_c.row(table.cluster_of(row0 + r) as usize);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                }
+            });
+            row0 += rows_here;
+        }
+    })
+    .expect("reconstruction worker panicked");
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_tensor::rng::AdrRng;
+
+    fn lsh_families(split: &SubVecSplit, h: usize, seed: u64) -> Vec<LshTable> {
+        let mut rng = AdrRng::seeded(seed);
+        split
+            .ranges()
+            .iter()
+            .map(|&(a, b)| LshTable::new(b - a, h, &mut rng))
+            .collect()
+    }
+
+    fn random_problem(n: usize, k: usize, m: usize, seed: u64) -> (Matrix, Matrix, Vec<f32>) {
+        let mut rng = AdrRng::seeded(seed);
+        let x = Matrix::from_fn(n, k, |_, _| rng.gauss());
+        let w = Matrix::from_fn(k, m, |_, _| rng.gauss() * 0.1);
+        let b: Vec<f32> = (0..m).map(|_| rng.gauss() * 0.01).collect();
+        (x, w, b)
+    }
+
+    /// With enough hash functions, every distinct row is its own cluster and
+    /// the reuse output equals the dense output exactly (up to fp order).
+    #[test]
+    fn degenerates_to_exact_with_many_hashes() {
+        let (x, w, b) = random_problem(24, 12, 5, 1);
+        let split = SubVecSplit::new(12, 12);
+        let lsh = lsh_families(&split, 40, 2);
+        let out = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        let mut dense = x.matmul(&w);
+        dense.add_row_bias(&b);
+        // Random Gaussian rows almost surely land in distinct clusters.
+        assert_eq!(out.tables[0].num_clusters(), 24);
+        assert!(out.output.max_abs_diff(&dense) < 1e-3);
+    }
+
+    /// Duplicate rows must produce identical outputs and a small cluster set.
+    #[test]
+    fn duplicate_rows_share_all_computation() {
+        let mut rng = AdrRng::seeded(3);
+        let proto = Matrix::from_fn(4, 8, |_, _| rng.gauss());
+        // 32 rows, each a copy of one of the 4 prototypes.
+        let x = Matrix::from_fn(32, 8, |r, c| proto[(r % 4, c)]);
+        let w = Matrix::from_fn(8, 6, |_, _| rng.gauss());
+        let split = SubVecSplit::new(8, 8);
+        let lsh = lsh_families(&split, 16, 4);
+        let out = reuse_forward(&x, &w, &[0.0; 6], &split, &lsh, None, None);
+        assert_eq!(out.tables[0].num_clusters(), 4);
+        assert!((out.stats.avg_remaining_ratio - 4.0 / 32.0).abs() < 1e-12);
+        // Exactness: centroids of identical rows are the rows themselves.
+        let dense = x.matmul(&w);
+        assert!(out.output.max_abs_diff(&dense) < 1e-3);
+    }
+
+    #[test]
+    fn sub_vector_partials_sum_to_dense_when_exact() {
+        // L < K with all-distinct clusters still reconstructs the dense GEMM.
+        let (x, w, b) = random_problem(16, 10, 4, 5);
+        let split = SubVecSplit::new(10, 4); // ranges 0..4, 4..8, 8..10
+        let lsh = lsh_families(&split, 40, 6);
+        let out = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        let mut dense = x.matmul(&w);
+        dense.add_row_bias(&b);
+        if out.tables.iter().all(|t| t.num_clusters() == 16) {
+            assert!(out.output.max_abs_diff(&dense) < 1e-3);
+        }
+        assert_eq!(out.tables.len(), 3);
+        assert_eq!(out.centroids[2].cols(), 2);
+    }
+
+    #[test]
+    fn large_batch_uses_parallel_paths_consistently() {
+        // Cross the n >= 64 GEMM-hashing threshold and the multi-thread
+        // reconstruction threshold; outputs must still match a dense GEMM
+        // when clusters are singletons.
+        let (x, w, b) = random_problem(512, 24, 16, 13);
+        let split = SubVecSplit::new(24, 8);
+        let lsh = lsh_families(&split, 48, 14);
+        let out = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        let mut dense = x.matmul(&w);
+        dense.add_row_bias(&b);
+        if out.tables.iter().all(|t| t.num_clusters() == 512) {
+            assert!(out.output.max_abs_diff(&dense) < 1e-2);
+        } else {
+            // Even with some collisions the output must stay finite & close.
+            assert!(out.output.max_abs_diff(&dense) < 1.0);
+        }
+    }
+
+    #[test]
+    fn approximation_error_shrinks_with_more_hashes() {
+        // Correlated rows: clusters form; more hashes → finer clusters →
+        // smaller output error.
+        let mut rng = AdrRng::seeded(7);
+        let proto = Matrix::from_fn(6, 16, |_, _| rng.gauss());
+        let x = Matrix::from_fn(120, 16, |r, c| proto[(r % 6, c)] + 0.05 * rng.gauss());
+        let w = Matrix::from_fn(16, 8, |_, _| rng.gauss());
+        let b = vec![0.0; 8];
+        let dense = x.matmul(&w);
+        let split = SubVecSplit::new(16, 16);
+        let err = |h: usize| {
+            let lsh = lsh_families(&split, h, 11);
+            let out = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+            out.output.max_abs_diff(&dense)
+        };
+        let coarse = err(2);
+        let fine = err(30);
+        assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn flop_accounting_matches_formula_without_cr() {
+        let (x, w, b) = random_problem(20, 12, 6, 8);
+        let split = SubVecSplit::new(12, 4);
+        let lsh = lsh_families(&split, 8, 9);
+        let out = reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+        // hash: N * K * H  (all sub-matrices together hash every element).
+        assert_eq!(out.stats.hash_flops, (20 * 12 * 8) as u64);
+        // adds: N * M per sub-matrix.
+        assert_eq!(out.stats.add_flops, (3 * 20 * 6) as u64);
+        // gemm: sum over sub-matrices of |C_I| * L_I * M.
+        let expect: u64 = out
+            .tables
+            .iter()
+            .map(|t| (t.num_clusters() * 4 * 6) as u64)
+            .sum();
+        assert_eq!(out.stats.gemm_flops, expect);
+    }
+
+    #[test]
+    fn cluster_reuse_skips_computation_on_second_batch() {
+        let (x, w, b) = random_problem(30, 8, 5, 10);
+        let split = SubVecSplit::new(8, 8);
+        let lsh = lsh_families(&split, 10, 11);
+        let mut caches = vec![ReuseCache::new(5)];
+        caches[0].begin_batch();
+        let first = reuse_forward(&x, &w, &b, &split, &lsh, Some(&mut caches), None);
+        let first_gemm = first.stats.gemm_flops;
+        assert!(first_gemm > 0);
+        // Same batch again: every signature is cached.
+        caches[0].begin_batch();
+        let second = reuse_forward(&x, &w, &b, &split, &lsh, Some(&mut caches), None);
+        assert_eq!(second.stats.gemm_flops, 0, "all clusters reused");
+        assert!(second.output.max_abs_diff(&first.output) < 1e-5);
+        caches[0].begin_batch();
+        assert!(caches[0].history().last().copied().unwrap() == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one LSH family per sub-matrix")]
+    fn wrong_family_count_panics() {
+        let (x, w, b) = random_problem(4, 8, 2, 12);
+        let split = SubVecSplit::new(8, 4);
+        let lsh = lsh_families(&SubVecSplit::new(8, 8), 4, 13);
+        reuse_forward(&x, &w, &b, &split, &lsh, None, None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Packed multi-sub-matrix hashing.
+//!
+//! Hashing is the paper's fixed overhead term `N·K·H` (every input element
+//! participates in `H` projections exactly once, regardless of `L`). A naive
+//! implementation pays per-sub-matrix dispatch costs `⌈K/L⌉` times per
+//! forward, which swamps the arithmetic at small `L`. [`PackedHasher`]
+//! interleaves all sub-matrix hyperplane families into one `K × H` table so
+//! a single streaming pass over each unfolded row produces *every*
+//! sub-vector signature, parallelised over row chunks.
+
+use adr_clustering::lsh::LshTable;
+use adr_tensor::matrix::Matrix;
+
+use crate::subvec::SubVecSplit;
+
+/// Hyperplanes of all sub-matrices packed for one streaming pass per row.
+#[derive(Clone, Debug)]
+pub struct PackedHasher {
+    k: usize,
+    h: usize,
+    /// End column of each sub-matrix, ascending.
+    boundaries: Vec<usize>,
+    /// `K·H` floats: `packed[k·H + j]` is hyperplane `j` of sub-matrix
+    /// `sub(k)` at local dimension `k − start(sub(k))`.
+    packed: Vec<f32>,
+}
+
+impl PackedHasher {
+    /// Packs one LSH family per sub-matrix.
+    ///
+    /// # Panics
+    /// Panics unless families match the split's widths and all share the
+    /// same `H ≤ 64`.
+    pub fn new(split: &SubVecSplit, lsh: &[LshTable]) -> Self {
+        assert_eq!(lsh.len(), split.num_sub_vectors(), "one LSH family per sub-matrix");
+        let h = lsh.first().map(LshTable::num_hashes).unwrap_or(0);
+        assert!((1..=64).contains(&h), "H must be in 1..=64");
+        let k = split.k();
+        let mut packed = vec![0.0f32; k * h];
+        let mut boundaries = Vec::with_capacity(lsh.len());
+        for (i, &(start, end)) in split.ranges().iter().enumerate() {
+            assert_eq!(lsh[i].dim(), end - start, "family {i} width mismatch");
+            assert_eq!(lsh[i].num_hashes(), h, "family {i} must share H");
+            let planes = lsh[i].hyperplanes(); // H × L_i
+            for local in 0..(end - start) {
+                let dst = &mut packed[(start + local) * h..(start + local) * h + h];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = planes[(j, local)];
+                }
+            }
+            boundaries.push(end);
+        }
+        Self { k, h, boundaries, packed }
+    }
+
+    /// Number of sub-matrices.
+    pub fn num_subs(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Hash count `H`.
+    pub fn num_hashes(&self) -> usize {
+        self.h
+    }
+
+    /// Hashes every row of `x` against every sub-matrix family in one pass.
+    ///
+    /// Returns row-major signatures: `out[r · num_subs + i]` is row `r`'s
+    /// signature in sub-matrix `i`. Results equal calling
+    /// `lsh[i].signature` on the corresponding row window (up to
+    /// floating-point summation order at exact hyperplane boundaries).
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != K`.
+    pub fn hash_all(&self, x: &Matrix) -> Vec<u64> {
+        assert_eq!(x.cols(), self.k, "hash_all: column count mismatch");
+        let n = x.rows();
+        let subs = self.num_subs();
+        let mut out = vec![0u64; n * subs];
+        let hw = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        let work = n * self.k * self.h;
+        let threads = hw.min((work / (1 << 20)).max(1)).min(n.max(1));
+        if threads <= 1 {
+            self.hash_rows(x, 0, n, &mut out);
+            return out;
+        }
+        let rows_per = n.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            let mut rest = out.as_mut_slice();
+            let mut row0 = 0usize;
+            while row0 < n {
+                let rows_here = rows_per.min(n - row0);
+                let (chunk, tail) = rest.split_at_mut(rows_here * subs);
+                rest = tail;
+                let me = &*self;
+                scope.spawn(move |_| {
+                    me.hash_rows(x, row0, rows_here, chunk);
+                });
+                row0 += rows_here;
+            }
+        })
+        .expect("hashing worker panicked");
+        out
+    }
+
+    /// Hashes rows `[row0, row0 + count)` into `out` (length `count · subs`).
+    fn hash_rows(&self, x: &Matrix, row0: usize, count: usize, out: &mut [u64]) {
+        let subs = self.num_subs();
+        let h = self.h;
+        let mut acc = [0.0f32; 64];
+        for r in 0..count {
+            let row = x.row(row0 + r);
+            let sig_row = &mut out[r * subs..(r + 1) * subs];
+            let mut sub = 0usize;
+            acc[..h].fill(0.0);
+            for (k, &xv) in row.iter().enumerate() {
+                if k == self.boundaries[sub] {
+                    sig_row[sub] = pack_signs(&acc[..h]);
+                    acc[..h].fill(0.0);
+                    sub += 1;
+                }
+                let planes = &self.packed[k * h..k * h + h];
+                for (a, &p) in acc[..h].iter_mut().zip(planes) {
+                    *a += xv * p;
+                }
+            }
+            sig_row[sub] = pack_signs(&acc[..h]);
+        }
+    }
+}
+
+/// Eq. 4 sign-packing: bit `j` set iff `proj_j > 0`.
+#[inline]
+fn pack_signs(proj: &[f32]) -> u64 {
+    let mut sig = 0u64;
+    for (j, &v) in proj.iter().enumerate() {
+        if v > 0.0 {
+            sig |= 1 << j;
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_tensor::rng::AdrRng;
+
+    fn families(split: &SubVecSplit, h: usize, seed: u64) -> Vec<LshTable> {
+        let mut rng = AdrRng::seeded(seed);
+        split
+            .ranges()
+            .iter()
+            .map(|&(a, b)| LshTable::new(b - a, h, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn matches_per_family_signatures() {
+        let mut rng = AdrRng::seeded(1);
+        let x = Matrix::from_fn(40, 23, |_, _| rng.gauss());
+        let split = SubVecSplit::new(23, 7); // widths 7,7,7,2
+        let lsh = families(&split, 9, 2);
+        let packed = PackedHasher::new(&split, &lsh);
+        let all = packed.hash_all(&x);
+        for (i, &(a, _)) in split.ranges().iter().enumerate() {
+            let expect = lsh[i].signatures_range(&x, a);
+            for r in 0..40 {
+                assert_eq!(
+                    all[r * split.num_sub_vectors() + i],
+                    expect[r],
+                    "row {r} sub {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_sub_matrix_degenerates_to_whole_row() {
+        let mut rng = AdrRng::seeded(3);
+        let x = Matrix::from_fn(10, 8, |_, _| rng.gauss());
+        let split = SubVecSplit::new(8, 8);
+        let lsh = families(&split, 12, 4);
+        let packed = PackedHasher::new(&split, &lsh);
+        let all = packed.hash_all(&x);
+        let expect = lsh[0].signatures(&x);
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn large_input_uses_threads_and_agrees() {
+        let mut rng = AdrRng::seeded(5);
+        let x = Matrix::from_fn(3000, 30, |_, _| rng.gauss());
+        let split = SubVecSplit::new(30, 5);
+        let lsh = families(&split, 8, 6);
+        let packed = PackedHasher::new(&split, &lsh);
+        let all = packed.hash_all(&x);
+        // Spot-check a sample of rows against the reference path.
+        for &r in &[0usize, 17, 512, 2999] {
+            for (i, &(a, b)) in split.ranges().iter().enumerate() {
+                let expect = lsh[i].signature(&x.row(r)[a..b]);
+                assert_eq!(all[r * 6 + i], expect, "row {r} sub {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must share H")]
+    fn mixed_h_families_panic() {
+        let mut rng = AdrRng::seeded(7);
+        let split = SubVecSplit::new(8, 4);
+        let lsh = vec![
+            LshTable::new(4, 6, &mut rng),
+            LshTable::new(4, 8, &mut rng),
+        ];
+        PackedHasher::new(&split, &lsh);
+    }
+}

@@ -1,0 +1,614 @@
+//! `ReuseConv2d` — a drop-in deep-reuse replacement for `Conv2d`.
+
+use adr_clustering::assign::ClusterTable;
+use adr_clustering::lsh::LshTable;
+use adr_clustering::reuse_cache::ReuseCache;
+use adr_nn::flops::{FlopMeter, FlopReport};
+use adr_nn::init::Init;
+use adr_nn::layer::{Layer, Mode, ParamRefMut, Shape3};
+use adr_tensor::im2col::{col2im, im2col, ConvGeom};
+use adr_tensor::matrix::Matrix;
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Tensor4;
+
+use crate::backward::reuse_backward;
+use crate::cost::{training_step_cost, CostParams};
+use crate::forward::reuse_forward;
+use crate::stats::ReuseStats;
+use crate::subvec::SubVecSplit;
+use crate::{ClusterScope, ReuseConfig};
+
+/// Forward-pass state the backward pass consumes (§IV: the backward pass
+/// reuses the forward clustering instead of re-clustering).
+struct CachedForward {
+    tables: Vec<ClusterTable>,
+    centroids: Vec<Matrix>,
+    batch: usize,
+}
+
+/// A convolutional layer that applies adaptive deep reuse.
+///
+/// Functionally equivalent to `adr_nn::conv::Conv2d` but computes the
+/// im2col GEMM through LSH clustering and centroid reuse, and computes both
+/// backward products from the forward clustering. The three knobs `{L, H,
+/// CR}` can be retuned at any time with [`ReuseConv2d::set_config`]; the
+/// adaptive controller in `adr-core` does exactly that between training
+/// stages.
+pub struct ReuseConv2d {
+    name: String,
+    geom: ConvGeom,
+    out_channels: usize,
+    weight: Matrix,
+    weight_grad: Matrix,
+    weight_vel: Matrix,
+    bias: Vec<f32>,
+    bias_grad: Vec<f32>,
+    bias_vel: Vec<f32>,
+    config: ReuseConfig,
+    split: SubVecSplit,
+    lsh: Vec<LshTable>,
+    /// Base seed from which LSH families are derived; families are a pure
+    /// function of `(seed, L, H)`, so identical configs hash identically —
+    /// a requirement of across-batch cluster reuse (§III-B).
+    lsh_seed: u64,
+    caches: Vec<ReuseCache>,
+    /// Training batches between cache invalidations when `CR = 1`: cached
+    /// outputs reflect the weights at insertion time, so during training the
+    /// layer drops them every `cache_refresh_every` batches to bound
+    /// staleness. Inference forwards never invalidate (weights are frozen).
+    cache_refresh_every: usize,
+    train_batches_since_refresh: usize,
+    cached: Option<CachedForward>,
+    meter: FlopMeter,
+    stats: ReuseStats,
+}
+
+impl ReuseConv2d {
+    /// Creates a reuse convolution with He-normal weights.
+    pub fn new(
+        name: impl Into<String>,
+        geom: ConvGeom,
+        out_channels: usize,
+        config: ReuseConfig,
+        rng: &mut AdrRng,
+    ) -> Self {
+        let k = geom.k();
+        let mut weight = Matrix::zeros(k, out_channels);
+        Init::HeNormal.fill(weight.as_mut_slice(), k, out_channels, rng);
+        let lsh_seed = rng.next_u64();
+        let mut layer = Self {
+            name: name.into(),
+            geom,
+            out_channels,
+            weight,
+            weight_grad: Matrix::zeros(k, out_channels),
+            weight_vel: Matrix::zeros(k, out_channels),
+            bias: vec![0.0; out_channels],
+            bias_grad: vec![0.0; out_channels],
+            bias_vel: vec![0.0; out_channels],
+            config,
+            split: SubVecSplit::new(k, config.sub_vector_len),
+            lsh: Vec::new(),
+            lsh_seed,
+            caches: Vec::new(),
+            cache_refresh_every: 8,
+            train_batches_since_refresh: 0,
+            cached: None,
+            meter: FlopMeter::new(),
+            stats: ReuseStats::default(),
+        };
+        layer.rebuild_for_config();
+        layer
+    }
+
+    /// Builds a `ReuseConv2d` taking geometry, weights and bias from an
+    /// existing dense convolution (used to apply reuse to a trained model,
+    /// as the inference experiments of §VI-A/§VI-B1 do).
+    pub fn from_dense(conv: &adr_nn::conv::Conv2d, config: ReuseConfig, rng: &mut AdrRng) -> Self {
+        let mut layer = Self::new(
+            format!("{}-reuse", conv.name()),
+            *conv.geom(),
+            conv.out_channels(),
+            config,
+            rng,
+        );
+        layer.weight = conv.weight().clone();
+        layer.bias = conv.bias().to_vec();
+        layer
+    }
+
+    fn rebuild_for_config(&mut self) {
+        let k = self.geom.k();
+        self.split = SubVecSplit::new(k, self.config.sub_vector_len);
+        self.lsh = self
+            .split
+            .ranges()
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                // Derive a family deterministically from (seed, L, H, i).
+                let mix = self
+                    .lsh_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((self.config.sub_vector_len as u64) << 32)
+                    .wrapping_add((self.config.num_hashes as u64) << 16)
+                    .wrapping_add(i as u64);
+                LshTable::new(b - a, self.config.num_hashes, &mut AdrRng::seeded(mix))
+            })
+            .collect();
+        self.caches = if self.config.cluster_reuse {
+            (0..self.split.num_sub_vectors())
+                .map(|_| ReuseCache::new(self.out_channels))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.cached = None;
+    }
+
+    /// The active reuse configuration.
+    pub fn config(&self) -> ReuseConfig {
+        self.config
+    }
+
+    /// Retunes `{L, H, CR}`. The sub-vector length is clamped to `K`. All
+    /// LSH families are rebuilt and the cluster-reuse caches are cleared
+    /// (old signatures are meaningless under a new family).
+    pub fn set_config(&mut self, mut config: ReuseConfig) {
+        config.sub_vector_len = config.sub_vector_len.min(self.geom.k());
+        if config == self.config {
+            return;
+        }
+        self.config = config;
+        self.rebuild_for_config();
+    }
+
+    /// Convenience wrapper over [`ReuseConv2d::set_config`].
+    pub fn set_reuse_params(&mut self, l: usize, h: usize, cluster_reuse: bool) {
+        self.set_config(ReuseConfig::new(l, h, cluster_reuse));
+    }
+
+    /// The layer's convolution geometry.
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    /// Number of weight filters `M`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Observability snapshot from the latest forward pass.
+    pub fn stats(&self) -> ReuseStats {
+        self.stats
+    }
+
+    /// The paper's modelled relative training-step cost (Eqs. 5/6/12/20)
+    /// evaluated with the *measured* remaining ratio and reuse rate of the
+    /// latest forward pass. `1.0` means "as expensive as dense"; returns
+    /// `None` before any forward pass has produced statistics.
+    pub fn modelled_step_cost(&self) -> Option<f64> {
+        if self.stats.rows == 0 {
+            return None;
+        }
+        let p = CostParams {
+            m: self.out_channels,
+            l: self.split.l(),
+            h: self.config.num_hashes,
+            rc: self.stats.avg_remaining_ratio,
+            reuse_rate: self.mean_reuse_rate(),
+        };
+        Some(training_step_cost(&p, self.config.cluster_reuse))
+    }
+
+    /// Mean across-batch reuse rate `R`; zero when CR = 0.
+    ///
+    /// Uses the in-flight batch's rate when available (the latest forward
+    /// pass), falling back to the mean over completed batches.
+    pub fn mean_reuse_rate(&self) -> f64 {
+        if self.caches.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .caches
+            .iter()
+            .map(|c| c.current_batch_rate().unwrap_or_else(|| c.mean_reuse_rate()))
+            .sum();
+        sum / self.caches.len() as f64
+    }
+
+    /// Sets how many *training* batches may reuse cached outputs before the
+    /// caches are invalidated (staleness bound). Has no effect on inference.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn set_cache_refresh_every(&mut self, every: usize) {
+        assert!(every > 0, "refresh interval must be positive");
+        self.cache_refresh_every = every;
+    }
+
+    /// Per-batch reuse rates averaged across sub-matrix caches: entry `b` is
+    /// the mean hit fraction of completed batch `b`. Empty when CR = 0.
+    pub fn reuse_rate_history(&self) -> Vec<f64> {
+        if self.caches.is_empty() {
+            return Vec::new();
+        }
+        let len = self.caches.iter().map(|c| c.history().len()).min().unwrap_or(0);
+        (0..len)
+            .map(|b| {
+                self.caches.iter().map(|c| c.history()[b]).sum::<f64>() / self.caches.len() as f64
+            })
+            .collect()
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Mutably borrows the weight matrix (tests / model surgery).
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+
+    /// Borrows the bias.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutably borrows the bias (model surgery).
+    pub fn bias_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.bias
+    }
+}
+
+impl Layer for ReuseConv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_shape(&self, input: Shape3) -> Shape3 {
+        assert_eq!(
+            input,
+            (self.geom.in_h, self.geom.in_w, self.geom.in_c),
+            "reuse conv {}: input shape mismatch",
+            self.name
+        );
+        (self.geom.out_h(), self.geom.out_w(), self.out_channels)
+    }
+
+    fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        let unfolded = im2col(input, &self.geom);
+        let (n, k) = unfolded.shape();
+        let caches = if self.config.cluster_reuse {
+            if mode == Mode::Train {
+                self.train_batches_since_refresh += 1;
+                if self.train_batches_since_refresh >= self.cache_refresh_every {
+                    self.train_batches_since_refresh = 0;
+                    for c in &mut self.caches {
+                        c.invalidate_outputs();
+                    }
+                }
+            }
+            for c in &mut self.caches {
+                c.begin_batch();
+            }
+            Some(self.caches.as_mut_slice())
+        } else {
+            None
+        };
+        let rows_per_image = match self.config.scope {
+            ClusterScope::SingleInput => Some(self.geom.rows_per_image()),
+            ClusterScope::SingleBatch => None,
+        };
+        let outcome = reuse_forward(
+            &unfolded,
+            &self.weight,
+            &self.bias,
+            &self.split,
+            &self.lsh,
+            caches,
+            rows_per_image,
+        );
+        self.stats = outcome.stats;
+        let baseline = (n * k * self.out_channels) as u64;
+        self.meter.add_forward(self.stats.total_forward_flops(), baseline);
+        self.cached = (mode == Mode::Train).then_some(CachedForward {
+            tables: outcome.tables,
+            centroids: outcome.centroids,
+            batch: input.batch(),
+        });
+        Tensor4::from_vec(
+            input.batch(),
+            self.geom.out_h(),
+            self.geom.out_w(),
+            self.out_channels,
+            outcome.output.into_vec(),
+        )
+        .expect("output shape arithmetic is consistent")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
+        let cached = self
+            .cached
+            .take()
+            .expect("backward called without a preceding training forward");
+        let n = self.geom.rows_for_batch(cached.batch);
+        let delta_y = Matrix::from_vec(n, self.out_channels, grad_out.as_slice().to_vec())
+            .expect("grad_out shape mismatch");
+        let outcome = reuse_backward(&cached.tables, &cached.centroids, &self.split, &self.weight, &delta_y);
+        let baseline = (2 * n * self.geom.k() * self.out_channels) as u64;
+        self.meter.add_backward(outcome.flops, baseline);
+        self.weight_grad = outcome.weight_grad;
+        self.bias_grad = outcome.bias_grad;
+        col2im(&outcome.delta_x_unf, &self.geom, cached.batch)
+    }
+
+    fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
+        vec![
+            ParamRefMut {
+                data: self.weight.as_mut_slice(),
+                grad: self.weight_grad.as_mut_slice(),
+                velocity: self.weight_vel.as_mut_slice(),
+            },
+            ParamRefMut {
+                data: &mut self.bias,
+                grad: &mut self.bias_grad,
+                velocity: &mut self.bias_vel,
+            },
+        ]
+    }
+
+    fn flops(&self) -> FlopReport {
+        self.meter.actual()
+    }
+
+    fn baseline_flops(&self) -> FlopReport {
+        self.meter.baseline()
+    }
+
+    fn reset_flops(&mut self) {
+        self.meter.reset();
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adr_nn::conv::Conv2d;
+
+    fn geom() -> ConvGeom {
+        ConvGeom::new(6, 6, 2, 3, 3, 1, 0).unwrap()
+    }
+
+    fn reuse_layer(l: usize, h: usize, cr: bool, seed: u64) -> ReuseConv2d {
+        ReuseConv2d::new("rc", geom(), 4, ReuseConfig::new(l, h, cr), &mut AdrRng::seeded(seed))
+    }
+
+    #[test]
+    fn forward_shape_matches_dense_conv() {
+        let mut layer = reuse_layer(18, 12, false, 1);
+        let x = Tensor4::zeros(2, 6, 6, 2);
+        let y = layer.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (2, 4, 4, 4));
+    }
+
+    #[test]
+    fn matches_dense_conv_when_clusters_are_fine() {
+        // Same weights as a dense conv; many hashes → near-singleton
+        // clusters → output approximates the dense conv closely.
+        let mut rng = AdrRng::seeded(2);
+        let dense = Conv2d::new("c", geom(), 4, &mut rng);
+        let mut layer = ReuseConv2d::from_dense(&dense, ReuseConfig::new(18, 40, false), &mut rng);
+        let mut dense = {
+            let mut rng2 = AdrRng::seeded(2);
+            Conv2d::new("c", geom(), 4, &mut rng2)
+        };
+        let x = Tensor4::from_fn(2, 6, 6, 2, |n, y, xx, c| {
+            ((n * 53 + y * 17 + xx * 7 + c * 3) % 19) as f32 * 0.1 - 0.9
+        });
+        let y_reuse = layer.forward(&x, Mode::Eval);
+        let y_dense = dense.forward(&x, Mode::Eval);
+        let max_diff = y_reuse
+            .as_slice()
+            .iter()
+            .zip(y_dense.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 0.15, "max diff {max_diff}");
+    }
+
+    #[test]
+    fn saves_flops_against_baseline_on_redundant_input() {
+        // Profitability needs H << M(1 - r_c) (§III-B), so use a wide layer.
+        let mut layer = ReuseConv2d::new(
+            "rc",
+            geom(),
+            32,
+            ReuseConfig::new(9, 4, false),
+            &mut AdrRng::seeded(3),
+        );
+        // Constant image: massive redundancy between receptive fields.
+        let x = Tensor4::from_fn(2, 6, 6, 2, |_, _, _, c| c as f32 + 1.0);
+        layer.forward(&x, Mode::Eval);
+        assert!(layer.stats().avg_remaining_ratio < 0.3);
+        assert!(layer.flops().forward < layer.baseline_flops().forward);
+    }
+
+    #[test]
+    fn train_forward_then_backward_produces_all_gradients() {
+        let mut layer = reuse_layer(6, 10, false, 4);
+        let x = Tensor4::from_fn(1, 6, 6, 2, |_, y, xx, c| ((y + xx + c) % 5) as f32 * 0.3);
+        layer.forward(&x, Mode::Train);
+        let g = Tensor4::from_vec(1, 4, 4, 4, vec![1.0; 64]).unwrap();
+        let dx = layer.backward(&g);
+        assert_eq!(dx.shape(), (1, 6, 6, 2));
+        let wnorm: f32 = layer.weight_grad.as_slice().iter().map(|v| v * v).sum();
+        assert!(wnorm > 0.0);
+        assert!(layer.bias_grad.iter().all(|&b| (b - 16.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn backward_gradient_approximates_dense_gradient() {
+        // With near-singleton clusters, the reuse gradients approximate the
+        // dense conv gradients.
+        let mut rng = AdrRng::seeded(5);
+        let dense_proto = Conv2d::new("c", geom(), 4, &mut rng);
+        let mut layer = ReuseConv2d::from_dense(&dense_proto, ReuseConfig::new(18, 45, false), &mut rng);
+        let mut dense = {
+            let mut rng2 = AdrRng::seeded(5);
+            Conv2d::new("c", geom(), 4, &mut rng2)
+        };
+        // Gaussian input: receptive-field rows are distinct, so with H = 45
+        // clusters are singletons and reuse degenerates to the exact conv.
+        let mut xrng = AdrRng::seeded(55);
+        let x = Tensor4::from_fn(1, 6, 6, 2, |_, _, _, _| xrng.gauss());
+        layer.forward(&x, Mode::Train);
+        dense.forward(&x, Mode::Train);
+        let g = Tensor4::from_fn(1, 4, 4, 4, |_, y, xx, c| ((y + xx + c) % 3) as f32 - 1.0);
+        let dx_reuse = layer.backward(&g);
+        let dx_dense = dense.backward(&g);
+        let diff = dx_reuse
+            .as_slice()
+            .iter()
+            .zip(dx_dense.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 0.5, "max dx diff {diff}");
+    }
+
+    #[test]
+    fn set_config_clamps_l_and_clears_cache_state() {
+        let mut layer = reuse_layer(6, 8, true, 6);
+        let x = Tensor4::from_fn(1, 6, 6, 2, |_, _, _, _| 1.0);
+        layer.forward(&x, Mode::Eval);
+        assert!(!layer.caches.is_empty());
+        layer.set_reuse_params(10_000, 12, true);
+        assert_eq!(layer.config().sub_vector_len, 18); // clamped to K
+        assert!(layer.caches.iter().all(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn cluster_reuse_reduces_gemm_work_on_repeated_batches() {
+        let mut layer = reuse_layer(9, 8, true, 7);
+        let x = Tensor4::from_fn(2, 6, 6, 2, |_, y, xx, c| ((y * 2 + xx + c) % 4) as f32);
+        layer.forward(&x, Mode::Eval);
+        let first_gemm = layer.stats().gemm_flops;
+        layer.forward(&x, Mode::Eval);
+        let second_gemm = layer.stats().gemm_flops;
+        assert_eq!(second_gemm, 0, "second identical batch must fully reuse (first {first_gemm})");
+        assert!(layer.mean_reuse_rate() > 0.9);
+    }
+
+    #[test]
+    fn single_input_scope_never_clusters_across_images() {
+        use crate::ClusterScope;
+        // Two identical images: batch scope merges their clusters, input
+        // scope keeps them separate, so input scope has ~2x the clusters.
+        let mut rng = AdrRng::seeded(21);
+        let one = Tensor4::from_fn(1, 6, 6, 2, |_, _, _, _| rng.gauss());
+        let mut two = Tensor4::zeros(2, 6, 6, 2);
+        let per = one.len();
+        two.as_mut_slice()[..per].copy_from_slice(one.as_slice());
+        two.as_mut_slice()[per..].copy_from_slice(one.as_slice());
+
+        let mut batch_scope = reuse_layer(9, 14, false, 22);
+        batch_scope.forward(&two, Mode::Eval);
+        let batch_clusters = batch_scope.stats().avg_clusters;
+
+        let mut input_scope = ReuseConv2d::new(
+            "rc",
+            geom(),
+            4,
+            ReuseConfig::new(9, 14, false).with_scope(ClusterScope::SingleInput),
+            &mut AdrRng::seeded(22),
+        );
+        input_scope.forward(&two, Mode::Eval);
+        let input_clusters = input_scope.stats().avg_clusters;
+        // Duplicated images: batch scope dedups across them, input scope
+        // cannot, so it keeps twice the clusters.
+        assert!(
+            input_clusters > batch_clusters * 1.5,
+            "input {input_clusters} vs batch {batch_clusters}"
+        );
+    }
+
+    #[test]
+    fn single_input_scope_trains_and_backprops() {
+        use crate::ClusterScope;
+        let mut layer = ReuseConv2d::new(
+            "rc",
+            geom(),
+            4,
+            ReuseConfig::new(6, 10, false).with_scope(ClusterScope::SingleInput),
+            &mut AdrRng::seeded(23),
+        );
+        let mut rng = AdrRng::seeded(24);
+        let x = Tensor4::from_fn(3, 6, 6, 2, |_, _, _, _| rng.gauss());
+        layer.forward(&x, Mode::Train);
+        let dx = layer.backward(&Tensor4::zeros(3, 4, 4, 4));
+        assert_eq!(dx.shape(), (3, 6, 6, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicts with single-input scope")]
+    fn cluster_reuse_with_single_input_scope_panics() {
+        use crate::ClusterScope;
+        let _ = ReuseConfig::new(5, 8, true).with_scope(ClusterScope::SingleInput);
+    }
+
+    #[test]
+    fn modelled_step_cost_tracks_measured_savings() {
+        let mut layer = reuse_layer(9, 6, false, 30);
+        assert!(layer.modelled_step_cost().is_none(), "no stats before forward");
+        // Redundant input: model must predict a sub-dense cost.
+        let x = Tensor4::from_fn(2, 6, 6, 2, |_, _, _, c| c as f32 - 0.5);
+        layer.forward(&x, Mode::Train);
+        layer.backward(&Tensor4::zeros(2, 4, 4, 4));
+        let model = layer.modelled_step_cost().expect("stats available");
+        assert!(model < 1.0, "modelled cost {model}");
+        let measured =
+            layer.flops().total() as f64 / layer.baseline_flops().total() as f64;
+        // The model counts the same terms the meter counts; allow slack for
+        // the H/M hashing term granularity.
+        assert!((model - measured).abs() < 0.35, "model {model} vs measured {measured}");
+    }
+
+    #[test]
+    fn config_is_idempotent() {
+        let mut layer = reuse_layer(9, 8, false, 8);
+        let cfg = layer.config();
+        layer.set_config(cfg);
+        assert_eq!(layer.config(), cfg);
+    }
+
+    #[test]
+    fn as_any_allows_downcast() {
+        let mut layer: Box<dyn Layer> = Box::new(reuse_layer(9, 8, false, 9));
+        let any = layer.as_any_mut().expect("reuse layer exposes Any");
+        assert!(any.downcast_mut::<ReuseConv2d>().is_some());
+    }
+
+    #[test]
+    fn sgd_training_step_applies_updates() {
+        use adr_nn::Sgd;
+        let mut layer = reuse_layer(6, 12, false, 10);
+        let before = layer.weight().as_slice().to_vec();
+        let x = Tensor4::from_fn(1, 6, 6, 2, |_, y, xx, _| (y * 6 + xx) as f32 * 0.05);
+        layer.forward(&x, Mode::Train);
+        layer.backward(&Tensor4::from_vec(1, 4, 4, 4, vec![0.5; 64]).unwrap());
+        let mut sgd = Sgd::constant(0.1);
+        let mut params = layer.params_mut();
+        sgd.apply(&mut params);
+        let after = layer.weight().as_slice();
+        assert!(before.iter().zip(after).any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+}

@@ -1,0 +1,120 @@
+//! Sub-matrix splitting (Fig. 3 of the paper).
+//!
+//! A row of the unfolded input matrix has `K` elements; clustering at
+//! granularity `L` splits it into `Nnv = ⌈K/L⌉` *sub-vectors*, the last of
+//! which may be shorter when `L ∤ K`. Each sub-vector position induces a
+//! column range, and the set of ranges partitions `0..K`.
+
+/// Column partition of a `K`-wide unfolded matrix into sub-vectors of
+/// nominal length `L`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubVecSplit {
+    k: usize,
+    l: usize,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl SubVecSplit {
+    /// Builds the partition.
+    ///
+    /// `l` is clamped to `k` (a sub-vector cannot be longer than a row).
+    ///
+    /// # Panics
+    /// Panics if `k == 0 || l == 0`.
+    pub fn new(k: usize, l: usize) -> Self {
+        assert!(k > 0, "K must be positive");
+        assert!(l > 0, "L must be positive");
+        let l = l.min(k);
+        let mut ranges = Vec::with_capacity(k.div_ceil(l));
+        let mut start = 0;
+        while start < k {
+            let end = (start + l).min(k);
+            ranges.push((start, end));
+            start = end;
+        }
+        Self { k, l, ranges }
+    }
+
+    /// Total width `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Effective (clamped) sub-vector length `L`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of sub-vectors per row, the paper's `Nnv = ⌈K/L⌉`.
+    pub fn num_sub_vectors(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Column ranges `[(start, end), ...]` partitioning `0..K`.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Width of sub-vector `i`.
+    pub fn width(&self, i: usize) -> usize {
+        let (s, e) = self.ranges[i];
+        e - s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let s = SubVecSplit::new(12, 4);
+        assert_eq!(s.num_sub_vectors(), 3);
+        assert_eq!(s.ranges(), &[(0, 4), (4, 8), (8, 12)]);
+    }
+
+    #[test]
+    fn remainder_becomes_short_tail() {
+        let s = SubVecSplit::new(10, 4);
+        assert_eq!(s.num_sub_vectors(), 3);
+        assert_eq!(s.ranges(), &[(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(s.width(2), 2);
+    }
+
+    #[test]
+    fn l_equal_to_k_is_whole_row() {
+        let s = SubVecSplit::new(7, 7);
+        assert_eq!(s.num_sub_vectors(), 1);
+        assert_eq!(s.ranges(), &[(0, 7)]);
+    }
+
+    #[test]
+    fn l_larger_than_k_is_clamped() {
+        let s = SubVecSplit::new(5, 100);
+        assert_eq!(s.l(), 5);
+        assert_eq!(s.num_sub_vectors(), 1);
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for k in [1usize, 2, 7, 75, 1600] {
+            for l in [1usize, 3, 5, 8, 75] {
+                let s = SubVecSplit::new(k, l);
+                let mut pos = 0;
+                for &(a, b) in s.ranges() {
+                    assert_eq!(a, pos, "gap in partition (k={k}, l={l})");
+                    assert!(b > a);
+                    pos = b;
+                }
+                assert_eq!(pos, k, "partition does not cover K (k={k}, l={l})");
+            }
+        }
+    }
+
+    #[test]
+    fn cifarnet_conv1_policy_granularities() {
+        // K = 75 (3 channels, 5x5 kernel); Policy 1: Lmin=5, Lmax=⌈√3⌉·5=10.
+        assert_eq!(SubVecSplit::new(75, 5).num_sub_vectors(), 15);
+        assert_eq!(SubVecSplit::new(75, 10).num_sub_vectors(), 8);
+    }
+}

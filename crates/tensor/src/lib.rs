@@ -1,0 +1,31 @@
+//! Dense numeric substrate for the adaptive-deep-reuse workspace.
+//!
+//! This crate provides the small set of linear-algebra primitives that the
+//! CNN training stack and the deep-reuse machinery are built on:
+//!
+//! * [`Matrix`] — a row-major, heap-allocated `f32` matrix with a blocked
+//!   GEMM kernel and the two transposed-product variants
+//!   ([`Matrix::matmul_t_a`], [`Matrix::matmul_t_b`]) that the backward pass
+//!   of a convolutional layer needs.
+//! * [`Tensor4`] — an NHWC 4-D tensor used for images and activation maps.
+//! * [`im2col`] — the unfold/fold pair that turns a convolution into a GEMM,
+//!   with the channel-major-by-row layout that makes the paper's
+//!   *neuron vectors* (length-`kw` kernel-row segments) contiguous.
+//! * [`rng`] — deterministic, seedable random sources (uniform and Gaussian)
+//!   so that every experiment in the workspace is reproducible.
+//! * [`par`] — crossbeam-scoped row-block parallelism for the GEMM kernel.
+//!
+//! The paper's notation (N, K, M, L, H, ...) is used throughout the
+//! workspace; see the crate-level docs of `adr-reuse` for the mapping.
+
+#![warn(missing_docs)]
+
+pub mod im2col;
+pub mod matrix;
+pub mod par;
+pub mod rng;
+pub mod tensor4;
+
+pub use im2col::{col2im, im2col, ConvGeom};
+pub use matrix::Matrix;
+pub use tensor4::Tensor4;

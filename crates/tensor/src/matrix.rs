@@ -1,0 +1,581 @@
+//! Row-major `f32` matrix with a cache-blocked GEMM kernel.
+//!
+//! All shape mismatches are programming errors and panic with a descriptive
+//! message; fallible construction from existing storage goes through
+//! [`Matrix::from_vec`], which validates the element count.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Block edge used by the tiled GEMM kernels. 64 f32 values = 256 bytes,
+/// a multiple of typical cache-line size; chosen empirically on x86-64.
+const BLOCK: usize = 64;
+
+/// A dense, row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            writeln!(f)?;
+            for r in 0..self.rows {
+                writeln!(f, "  {:?}", &self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// Returns `None` when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Option<Self> {
+        (data.len() == rows * cols).then_some(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a fresh vector.
+    pub fn col_to_vec(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {} out of bounds for {} cols", c, self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Returns a new matrix whose rows are `self`'s rows restricted to the
+    /// half-open column range `[start, end)`.
+    ///
+    /// This is how the deep-reuse machinery slices the unfolded input matrix
+    /// into sub-matrices of sub-vector length `L`.
+    pub fn column_slice(&self, start: usize, end: usize) -> Matrix {
+        assert!(
+            start <= end && end <= self.cols,
+            "column slice {}..{} out of bounds for {} cols",
+            start,
+            end,
+            self.cols
+        );
+        let width = end - start;
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols + start..r * self.cols + end];
+            out.row_mut(r).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Returns a copy of the contiguous row range `[start, end)`.
+    ///
+    /// Used to slice the `K × M` weight matrix into the per-sub-matrix
+    /// blocks `W_I` of the deep-reuse computation.
+    pub fn row_slice(&self, start: usize, end: usize) -> Matrix {
+        assert!(
+            start <= end && end <= self.rows,
+            "row slice {}..{} out of bounds for {} rows",
+            start,
+            end,
+            self.rows
+        );
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Copies `src` into the contiguous row range starting at `start`.
+    ///
+    /// # Panics
+    /// Panics if the rows do not fit or column counts differ.
+    pub fn set_row_slice(&mut self, start: usize, src: &Matrix) {
+        assert_eq!(self.cols, src.cols, "set_row_slice: column mismatch");
+        assert!(start + src.rows <= self.rows, "set_row_slice: rows out of bounds");
+        self.data[start * self.cols..(start + src.rows) * self.cols]
+            .copy_from_slice(&src.data);
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on large matrices.
+        for rb in (0..self.rows).step_by(BLOCK) {
+            for cb in (0..self.cols).step_by(BLOCK) {
+                for r in rb..(rb + BLOCK).min(self.rows) {
+                    for c in cb..(cb + BLOCK).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · other`, allocating the result.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `out = self · other` without allocating.
+    ///
+    /// Uses an `i-k-j` loop order with row blocking: the inner loop is a
+    /// saxpy over a contiguous row of `other`, which vectorises well.
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        out.data.fill(0.0);
+        gemm_rows(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+    }
+
+    /// `selfᵀ · other`, allocating the result.
+    ///
+    /// This is the shape of the weight-gradient computation
+    /// `∇W = xᵀ · δy` (paper Eq. 2/9); implemented without materialising
+    /// the transpose.
+    ///
+    /// # Panics
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_t_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_t_a shape mismatch: ({}x{})ᵀ . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        // out[i][j] = sum_k self[k][i] * other[k][j]
+        // Loop k outermost: each k contributes rank-1 update rowA ⊗ rowB.
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (oj, &b) in o.iter_mut().zip(b_row.iter()) {
+                    *oj += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`, allocating the result.
+    ///
+    /// This is the shape of the input-delta computation `δx = δy · Wᵀ`
+    /// (paper Eq. 3/17); implemented without materialising the transpose.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t_b shape mismatch: {}x{} . ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let o = &mut out.data[r * other.rows..(r + 1) * other.rows];
+            for (j, oj) in o.iter_mut().enumerate() {
+                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
+                *oj = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// Adds `bias[j]` to every element of column `j`.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sums each column, producing a length-`cols` vector.
+    ///
+    /// Used for the bias gradient `∇b = Σ_rows δy`.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, v) in sums.iter_mut().zip(self.row(r).iter()) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element difference against another matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation; lets LLVM keep independent FMA chains.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        sum += a[j] * b[j];
+    }
+    sum
+}
+
+/// Core GEMM over raw row-major slices: `c[m x n] += a[m x k] · b[k x n]`.
+///
+/// Exposed at the slice level so [`crate::par`] can run it over disjoint row
+/// blocks from multiple threads.
+pub fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for kb in (0..k).step_by(BLOCK) {
+        let k_end = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for kk in kb..k_end {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_none());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_some());
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let i = Matrix::identity(4);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_odd_shapes() {
+        let a = Matrix::from_fn(7, 13, |r, c| ((r * 31 + c * 17) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(13, 5, |r, c| ((r * 7 + c * 3) % 9) as f32 - 4.0);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_handles_sizes_larger_than_block() {
+        let a = Matrix::from_fn(3, 130, |r, c| ((r + c) % 7) as f32 * 0.25);
+        let b = Matrix::from_fn(130, 2, |r, c| ((r * c + 1) % 5) as f32 * 0.5);
+        assert!(a.matmul(&b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_t_a_equals_explicit_transpose() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(6, 3, |r, c| (r * c) as f32 * 0.1);
+        let direct = a.matmul_t_a(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(direct.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_b_equals_explicit_transpose() {
+        let a = Matrix::from_fn(5, 4, |r, c| (r + 2 * c) as f32 * 0.3);
+        let b = Matrix::from_fn(7, 4, |r, c| (r as f32 * 0.2) - (c as f32 * 0.1));
+        let direct = a.matmul_t_b(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(direct.max_abs_diff(&explicit) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = Matrix::from_fn(9, 70, |r, c| (r * 100 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn column_slice_extracts_expected_window() {
+        let a = Matrix::from_fn(3, 6, |r, c| (r * 6 + c) as f32);
+        let s = a.column_slice(2, 5);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.row(1), &[8.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column slice")]
+    fn column_slice_out_of_bounds_panics() {
+        Matrix::zeros(2, 3).column_slice(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn row_slice_round_trips_with_set_row_slice() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        let s = a.row_slice(1, 4);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.row(0), a.row(1));
+        let mut b = Matrix::zeros(5, 3);
+        b.set_row_slice(1, &s);
+        assert_eq!(b.row(2), a.row(2));
+        assert_eq!(b.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row slice")]
+    fn row_slice_out_of_bounds_panics() {
+        Matrix::zeros(2, 2).row_slice(1, 3);
+    }
+
+    #[test]
+    fn add_row_bias_adds_per_column() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_bias(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn column_sums_matches_manual_sum() {
+        let m = Matrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        assert_eq!(m.column_sums(), vec![6.0, 10.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale_compose() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        a.scale(2.0);
+        assert_eq!(a, Matrix::filled(2, 2, 4.0));
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four_lengths() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(dot(&a, &b), 30.0);
+    }
+
+    #[test]
+    fn frobenius_norm_of_unit_rows() {
+        let m = Matrix::identity(4);
+        assert!((m.frobenius_norm() - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Crossbeam-scoped row-block parallelism for the GEMM kernel.
+//!
+//! The baseline convolution and the centroid GEMM of the reuse path both
+//! bottom out in [`matmul_par`]. Work is split into contiguous row blocks of
+//! the left operand; each scoped thread writes a disjoint slice of the
+//! output, so no synchronisation is needed beyond the scope join.
+
+use crate::matrix::{gemm_rows, Matrix};
+
+/// Minimum per-thread work (in multiply–adds) below which threading is not
+/// worth the spawn cost; measured on x86-64 with the blocked kernel.
+const MIN_FLOPS_PER_THREAD: usize = 1 << 20;
+
+/// Returns the number of worker threads to use for a problem of `flops`
+/// multiply–adds, capped by available parallelism.
+fn thread_count(flops: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min((flops / MIN_FLOPS_PER_THREAD).max(1))
+}
+
+/// `a · b`, parallelised over row blocks of `a`.
+///
+/// Falls back to the single-threaded kernel for small problems. Results are
+/// bit-identical to [`Matrix::matmul`] because each output element is still
+/// accumulated by exactly one thread in the same loop order.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_par(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_par shape mismatch: {}x{} . {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let threads = thread_count(m * k * n);
+    if threads <= 1 || m < 2 {
+        return a.matmul(b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    let rows_per = m.div_ceil(threads);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_slice = out.as_mut_slice();
+    crossbeam::scope(|scope| {
+        let mut rest = out_slice;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            let a_block = &a_data[row0 * k..(row0 + rows_here) * k];
+            scope.spawn(move |_| {
+                gemm_rows(a_block, b_data, chunk, rows_here, k, n);
+            });
+            row0 += rows_here;
+        }
+    })
+    .expect("GEMM worker panicked");
+    out
+}
+
+/// `a[:, cols] · bᵀ`, parallelised over row chunks of `a` — the tall-skinny
+/// product used for LSH projections (`n = b.rows()` is small, so the blocked
+/// saxpy kernel of [`matmul_par`] cannot vectorise its inner loop; per-row
+/// dot products against the contiguous rows of `b` are much faster here).
+///
+/// `col_range` selects the slice of each `a` row to use; `b` must have that
+/// many columns.
+///
+/// # Panics
+/// Panics when the column range is out of bounds or widths disagree.
+pub fn matmul_range_t_b_par(
+    a: &Matrix,
+    col_range: (usize, usize),
+    b: &Matrix,
+) -> Matrix {
+    let (start, end) = col_range;
+    assert!(start <= end && end <= a.cols(), "column range out of bounds");
+    let width = end - start;
+    assert_eq!(b.cols(), width, "b width disagrees with column range");
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    let flops = m * width * n;
+    let threads = thread_count(flops).min(m.max(1));
+    let a_data = a.as_slice();
+    let b_ref = b;
+    if threads <= 1 {
+        // Inline path: spawning even one scoped thread costs more than the
+        // whole product for small sub-matrices.
+        let out_slice = out.as_mut_slice();
+        for r in 0..m {
+            let row = &a_data[r * k + start..r * k + end];
+            let o = &mut out_slice[r * n..(r + 1) * n];
+            for (j, oj) in o.iter_mut().enumerate() {
+                *oj = crate::matrix::dot(row, b_ref.row(j));
+            }
+        }
+        return out;
+    }
+    let rows_per = m.div_ceil(threads).max(1);
+    let out_slice = out.as_mut_slice();
+    crossbeam::scope(|scope| {
+        let mut rest = out_slice;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = rows_per.min(m - row0);
+            let (chunk, tail) = rest.split_at_mut(rows_here * n);
+            rest = tail;
+            scope.spawn(move |_| {
+                for r in 0..rows_here {
+                    let row = &a_data[(row0 + r) * k + start..(row0 + r) * k + end];
+                    let o = &mut chunk[r * n..(r + 1) * n];
+                    for (j, oj) in o.iter_mut().enumerate() {
+                        *oj = crate::matrix::dot(row, b_ref.row(j));
+                    }
+                }
+            });
+            row0 += rows_here;
+        }
+    })
+    .expect("tall-skinny GEMM worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_t_b_matches_reference() {
+        let a = Matrix::from_fn(100, 10, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(6, 4, |r, c| ((r + c * 2) % 5) as f32 - 2.0);
+        let got = matmul_range_t_b_par(&a, (3, 7), &b);
+        let sliced = a.column_slice(3, 7);
+        let expect = sliced.matmul_t_b(&b);
+        assert!(got.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn range_t_b_full_width() {
+        let a = Matrix::from_fn(300, 16, |r, c| ((r + c) % 13) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(8, 16, |r, c| ((r * c + 1) % 7) as f32 * 0.5 - 1.5);
+        let got = matmul_range_t_b_par(&a, (0, 16), &b);
+        let expect = a.matmul_t_b(&b);
+        assert!(got.max_abs_diff(&expect) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column range out of bounds")]
+    fn range_t_b_rejects_bad_range() {
+        let a = Matrix::zeros(4, 4);
+        let b = Matrix::zeros(2, 3);
+        matmul_range_t_b_par(&a, (2, 7), &b);
+    }
+
+    #[test]
+    fn parallel_matches_serial_small() {
+        let a = Matrix::from_fn(5, 7, |r, c| (r * 7 + c) as f32 * 0.1);
+        let b = Matrix::from_fn(7, 3, |r, c| (r + c) as f32 * 0.2);
+        assert_eq!(matmul_par(&a, &b), a.matmul(&b));
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let a = Matrix::from_fn(257, 129, |r, c| (((r * 31 + c * 17) % 23) as f32 - 11.0) * 0.05);
+        let b = Matrix::from_fn(129, 130, |r, c| (((r * 13 + c * 7) % 19) as f32 - 9.0) * 0.05);
+        let par = matmul_par(&a, &b);
+        let ser = a.matmul(&b);
+        assert!(par.max_abs_diff(&ser) < 1e-4);
+    }
+
+    #[test]
+    fn single_row_matrix_is_handled() {
+        let a = Matrix::from_fn(1, 64, |_, c| c as f32);
+        let b = Matrix::from_fn(64, 8, |r, c| (r * c) as f32 * 0.01);
+        assert_eq!(matmul_par(&a, &b), a.matmul(&b));
+    }
+
+    #[test]
+    fn empty_inner_dimension_gives_zero() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let out = matmul_par(&a, &b);
+        assert_eq!(out.shape(), (3, 4));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

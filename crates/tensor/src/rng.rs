@@ -1,0 +1,180 @@
+//! Deterministic random sources.
+//!
+//! Every stochastic component in the workspace (weight init, dataset
+//! synthesis, LSH hyperplanes, shuffling, dropout) draws from a seeded
+//! [`AdrRng`], so whole experiments replay bit-for-bit. Gaussian samples are
+//! produced with a Box–Muller transform on top of `rand`'s uniform source,
+//! avoiding an extra dependency on `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Workspace-wide RNG newtype around a seeded [`StdRng`].
+#[derive(Clone, Debug)]
+pub struct AdrRng {
+    inner: StdRng,
+    /// Cached second Box–Muller sample.
+    spare_gauss: Option<f32>,
+}
+
+impl AdrRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), spare_gauss: None }
+    }
+
+    /// Derives an independent child RNG.
+    ///
+    /// The child's stream is a pure function of `(parent seed stream,
+    /// stream_id)`, so components can be given private streams without
+    /// coupling their consumption order.
+    pub fn split(&mut self, stream_id: u64) -> Self {
+        let base: u64 = self.inner.gen();
+        Self::seeded(splitmix64(base ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Standard normal sample via Box–Muller.
+    pub fn gauss(&mut self) -> f32 {
+        if let Some(z) = self.spare_gauss.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln() finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * (u1 as f64).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2 as f64;
+        self.spare_gauss = Some((r * theta.sin()) as f32);
+        (r * theta.cos()) as f32
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    #[inline]
+    pub fn gauss_with(&mut self, mean: f32, std_dev: f32) -> f32 {
+        mean + std_dev * self.gauss()
+    }
+
+    /// Fills `out` with standard normal samples.
+    pub fn fill_gauss(&mut self, out: &mut [f32]) {
+        for v in out {
+            *v = self.gauss();
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// SplitMix64 finaliser, used to decorrelate derived seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = AdrRng::seeded(42);
+        let mut b = AdrRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = AdrRng::seeded(1);
+        let mut b = AdrRng::seeded(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_consumption() {
+        let mut parent1 = AdrRng::seeded(7);
+        let mut child1 = parent1.split(3);
+        let mut parent2 = AdrRng::seeded(7);
+        let mut child2 = parent2.split(3);
+        assert_eq!(child1.next_u64(), child2.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = AdrRng::seeded(9);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let v = r.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gauss_moments_are_plausible() {
+        let mut r = AdrRng::seeded(123);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.gauss()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.08, "var {}", var);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = AdrRng::seeded(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should not stay in place");
+    }
+
+    #[test]
+    fn below_covers_full_range() {
+        let mut r = AdrRng::seeded(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.below(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,93 @@
+//! Train with Adam + batch normalisation, checkpoint the weights, and
+//! resume in a fresh process-like context — the workflow a downstream user
+//! needs for long adaptive-deep-reuse trainings.
+//!
+//! Run with: `cargo run --release --example checkpoint_and_resume`
+
+use adaptive_deep_reuse::adaptive::trainer::BatchSource;
+use adaptive_deep_reuse::models::ConvMode;
+use adaptive_deep_reuse::nn::batchnorm::BatchNorm;
+use adaptive_deep_reuse::nn::checkpoint::Checkpoint;
+use adaptive_deep_reuse::nn::dense::Dense;
+use adaptive_deep_reuse::nn::optimizer::Adam;
+use adaptive_deep_reuse::nn::pool::Pool2d;
+use adaptive_deep_reuse::nn::relu::Relu;
+use adaptive_deep_reuse::prelude::*;
+use adaptive_deep_reuse::reuse::ReuseConfig;
+use adaptive_deep_reuse::tensor::im2col::ConvGeom;
+
+/// A small reuse CNN with batch normalisation after each convolution.
+fn build(seed: u64) -> Network {
+    let mut rng = AdrRng::seeded(seed);
+    let mut net = Network::new((16, 16, 3));
+    let g1 = ConvGeom::new(16, 16, 3, 5, 5, 1, 2).unwrap();
+    net.push(ConvMode::Reuse(ReuseConfig::new(5, 12, false)).build("conv1", g1, 32, &mut rng));
+    net.push(Box::new(BatchNorm::new("bn1", 32)));
+    net.push(Box::new(Relu::new("relu1")));
+    net.push(Box::new(Pool2d::max("pool1", 3, 2)));
+    let g2 = ConvGeom::new(7, 7, 32, 5, 5, 1, 2).unwrap();
+    net.push(ConvMode::Reuse(ReuseConfig::new(10, 10, false)).build("conv2", g2, 32, &mut rng));
+    net.push(Box::new(BatchNorm::new("bn2", 32)));
+    net.push(Box::new(Relu::new("relu2")));
+    net.push(Box::new(Pool2d::max("pool2", 3, 2)));
+    net.push(Box::new(Dense::new("fc", 3 * 3 * 32, 4, &mut rng)));
+    net
+}
+
+fn main() {
+    println!("checkpoint & resume with Adam + BatchNorm + deep reuse\n");
+    let mut rng = AdrRng::seeded(5);
+    let cfg = SynthConfig {
+        num_images: 200,
+        num_classes: 4,
+        height: 16,
+        width: 16,
+        channels: 3,
+        smoothing_passes: 2,
+        noise_std: 0.08,
+        max_shift: 2,
+        image_variability: 0.4,
+    };
+    let dataset = SynthDataset::generate(&cfg, &mut rng);
+    let mut source = DatasetSource::new(dataset, 16, 32);
+    let (probe_x, probe_y) = source.probe();
+
+    // Phase 1: train with Adam for 120 iterations, then checkpoint.
+    let mut net = build(7);
+    let mut adam = Adam::with_defaults(2e-3);
+    for it in 0..120 {
+        let (x, y) = source.batch(it % source.num_batches());
+        let step = net.train_batch_with(&x, &y, &mut adam);
+        if it % 30 == 0 {
+            println!("iter {it:>3}: loss {:.4}", step.loss);
+        }
+    }
+    let phase1 = net.evaluate(&probe_x, &probe_y);
+    println!("phase 1 done: probe accuracy {:.3}", phase1.accuracy);
+    let ckpt_path = std::env::temp_dir().join("adr_example_checkpoint.adr");
+    Checkpoint::capture(&mut net).save(&ckpt_path).expect("save checkpoint");
+    println!("checkpoint written to {}", ckpt_path.display());
+
+    // Phase 2: a *fresh* network (different init seed) resumes from disk.
+    let mut resumed = build(99);
+    let cold = resumed.evaluate(&probe_x, &probe_y);
+    Checkpoint::load(&ckpt_path)
+        .expect("load checkpoint")
+        .restore(&mut resumed)
+        .expect("architecture matches");
+    let warm = resumed.evaluate(&probe_x, &probe_y);
+    println!(
+        "\nfresh net accuracy {:.3} -> after restore {:.3} (trained: {:.3})",
+        cold.accuracy, warm.accuracy, phase1.accuracy
+    );
+
+    // Continue training from the checkpoint with a fresh optimiser.
+    let mut adam2 = Adam::with_defaults(1e-3);
+    for it in 0..60 {
+        let (x, y) = source.batch((120 + it) % source.num_batches());
+        resumed.train_batch_with(&x, &y, &mut adam2);
+    }
+    let final_eval = resumed.evaluate(&probe_x, &probe_y);
+    println!("after 60 resumed iterations: probe accuracy {:.3}", final_eval.accuracy);
+    std::fs::remove_file(&ckpt_path).ok();
+}

@@ -1,0 +1,95 @@
+//! Apply deep reuse to the *inference* of an already-trained model and
+//! explore the `{L, H, CR}` knobs — the workflow of the paper's §VI-A/§VI-B1
+//! verification experiments.
+//!
+//! Run with: `cargo run --release --example inference_reuse`
+
+use adaptive_deep_reuse::adaptive::trainer::BatchSource;
+use adaptive_deep_reuse::models::{cifarnet, ConvMode};
+use adaptive_deep_reuse::nn::conv::Conv2d;
+use adaptive_deep_reuse::nn::{Layer, LrSchedule, Sgd};
+use adaptive_deep_reuse::prelude::*;
+use adaptive_deep_reuse::reuse::ReuseConfig;
+
+fn main() {
+    println!("deep reuse on a trained model (inference only)\n");
+
+    // Train a dense CifarNet to convergence on the synthetic stand-in.
+    let mut rng = AdrRng::seeded(11);
+    let cfg = SynthConfig {
+        num_images: 240,
+        num_classes: 4,
+        height: 16,
+        width: 16,
+        channels: 3,
+        smoothing_passes: 3,
+        noise_std: 0.05,
+        max_shift: 2,
+        image_variability: 0.45,
+    };
+    let dataset = SynthDataset::generate(&cfg, &mut rng);
+    let mut source = DatasetSource::new(dataset, 16, 32);
+    let mut net = cifarnet::bench_scale(4, ConvMode::Dense, &mut rng);
+    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+    for iter in 0..300 {
+        let (images, labels) = source.batch(iter % source.num_batches());
+        net.train_batch(&images, &labels, &mut sgd);
+    }
+    let (probe_images, probe_labels) = source.probe();
+    let dense_acc = net.evaluate(&probe_images, &probe_labels).accuracy;
+    println!("trained dense model: probe accuracy {dense_acc:.3}\n");
+
+    // Wrap conv1 in a ReuseConv2d that shares its weights, then sweep the
+    // clustering knobs and watch accuracy vs remaining ratio.
+    let conv1 = net.layers()[0]
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Conv2d>())
+        .expect("layer 0 is conv1");
+    let mut reuse = ReuseConv2d::from_dense(conv1, ReuseConfig::new(5, 4, false), &mut rng);
+
+    println!("| L  | H  | r_c    | accuracy | fwd cost vs dense |");
+    println!("|----|----|--------|----------|-------------------|");
+    for &(l, h) in &[(75, 4), (25, 4), (5, 4), (5, 8), (5, 12), (5, 15)] {
+        reuse.set_config(ReuseConfig::new(l, h, false));
+        // Evaluate the network with conv1 swapped for the reuse layer.
+        let mut x = probe_images.clone();
+        x = reuse.forward(&x, adaptive_deep_reuse::nn::Mode::Eval);
+        for i in 1..net.len() {
+            x = net.layers_mut()[i].forward(&x, adaptive_deep_reuse::nn::Mode::Eval);
+        }
+        let out = adaptive_deep_reuse::nn::softmax::softmax_cross_entropy(&x, &probe_labels);
+        let hits = out
+            .predictions
+            .iter()
+            .zip(&probe_labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        let acc = hits as f32 / probe_labels.len() as f32;
+        let stats = reuse.stats();
+        let baseline = (stats.rows * reuse.geom().k() * reuse.out_channels()) as u64;
+        println!(
+            "| {l:<2} | {h:<2} | {:.4} | {acc:<8.3} | {:.3}x            |",
+            stats.avg_remaining_ratio,
+            stats.forward_cost_fraction(baseline),
+        );
+    }
+
+    // Cluster reuse across batches: feed the same stream twice and watch the
+    // reuse rate climb (Algorithm 1).
+    println!("\ncluster reuse across batches (L=5, H=12, CR=1):");
+    reuse.set_config(ReuseConfig::new(5, 12, true));
+    for round in 0..3 {
+        for b in 0..4 {
+            let (images, _) = source.batch(b);
+            reuse.forward(&images, adaptive_deep_reuse::nn::Mode::Eval);
+        }
+        println!(
+            "  after round {}: mean reuse rate R = {:.3}, cached clusters per sub-matrix ≈ {}",
+            round + 1,
+            reuse.mean_reuse_rate(),
+            reuse.stats().avg_clusters as usize
+        );
+    }
+    println!("\nExpected: accuracy approaches the dense value as H grows or L shrinks,");
+    println!("and the reuse rate approaches 1 once the cache has seen the stream.");
+}

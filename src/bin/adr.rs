@@ -1,0 +1,240 @@
+//! `adr` — command-line front end for adaptive deep reuse.
+//!
+//! Subcommands:
+//!
+//! * `adr train [--model cifarnet|alexnet|vgg19] [--strategy baseline|fixed|adaptive|cluster-reuse]
+//!   [--iterations N] [--batch N] [--classes N] [--lr F] [--seed N]
+//!   [--checkpoint PATH]` — train a bench-scale model on the synthetic
+//!   dataset and print the run report.
+//! * `adr eval --checkpoint PATH [--model ...] [--classes N] [--seed N]`
+//!   — restore a checkpoint and report probe accuracy.
+//! * `adr similarity [--hashes H] [--sub-vector L]` — print the remaining
+//!   ratio LSH finds on a fresh synthetic batch (a one-shot Fig. 1 intuition
+//!   check).
+//!
+//! Everything is deterministic given `--seed`.
+
+use std::process::ExitCode;
+
+use adaptive_deep_reuse::adaptive::trainer::{BatchSource, Trainer, TrainerConfig};
+use adaptive_deep_reuse::adaptive::Strategy;
+use adaptive_deep_reuse::models::{alexnet, cifarnet, vgg19, ConvMode};
+use adaptive_deep_reuse::nn::checkpoint::Checkpoint;
+use adaptive_deep_reuse::nn::{LrSchedule, Network, Sgd};
+use adaptive_deep_reuse::prelude::*;
+use adaptive_deep_reuse::reuse::ReuseConfig;
+use adaptive_deep_reuse::source::DatasetSource;
+use adaptive_deep_reuse::tensor::im2col::{im2col, ConvGeom};
+
+/// Minimal `--key value` / `--flag` argument map.
+struct Args {
+    positional: Vec<String>,
+    options: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut options = std::collections::HashMap::new();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option --{key} is missing a value"))?;
+                options.insert(key.to_string(), value.clone());
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Self { positional, options })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse '{raw}'")),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn build_model(
+    name: &str,
+    classes: usize,
+    mode: ConvMode,
+    rng: &mut AdrRng,
+) -> Result<(Network, (usize, usize, usize), usize), String> {
+    match name {
+        "cifarnet" => Ok((cifarnet::bench_scale(classes, mode, rng), (16, 16, 3), 16)),
+        "alexnet" => Ok((alexnet::bench_scale(classes, mode, rng), (64, 64, 3), 8)),
+        "vgg19" => Ok((vgg19::bench_scale(classes, mode, rng), (32, 32, 3), 8)),
+        other => Err(format!("unknown model '{other}' (cifarnet | alexnet | vgg19)")),
+    }
+}
+
+fn make_source(
+    input: (usize, usize, usize),
+    classes: usize,
+    batch: usize,
+    seed: u64,
+) -> DatasetSource {
+    let cfg = SynthConfig {
+        num_images: 480,
+        num_classes: classes,
+        height: input.0,
+        width: input.1,
+        channels: input.2,
+        smoothing_passes: 2,
+        noise_std: 0.08,
+        max_shift: (input.0 / 10).max(1),
+        image_variability: 0.5,
+    };
+    let dataset = SynthDataset::generate(&cfg, &mut AdrRng::seeded(seed));
+    DatasetSource::new(dataset, batch, 32)
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let model = args.get_str("model", "cifarnet");
+    let strategy_name = args.get_str("strategy", "adaptive");
+    let iterations: usize = args.get("iterations", 300)?;
+    let classes: usize = args.get("classes", 4)?;
+    let lr: f32 = args.get("lr", 0.02)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let fixed_l: usize = args.get("sub-vector", 10)?;
+    let fixed_h: usize = args.get("hashes", 10)?;
+
+    let (mode, strategy) = match strategy_name.as_str() {
+        "baseline" => (ConvMode::Dense, Strategy::baseline()),
+        "fixed" => (
+            ConvMode::Reuse(ReuseConfig::new(fixed_l, fixed_h, false)),
+            Strategy::fixed(fixed_l, fixed_h),
+        ),
+        "adaptive" => (ConvMode::reuse_default(), Strategy::adaptive()),
+        "cluster-reuse" => (
+            ConvMode::Reuse(ReuseConfig::new(fixed_l, fixed_h, true)),
+            Strategy::cluster_reuse(fixed_l, fixed_h),
+        ),
+        other => {
+            return Err(format!(
+                "unknown strategy '{other}' (baseline | fixed | adaptive | cluster-reuse)"
+            ))
+        }
+    };
+
+    let mut rng = AdrRng::seeded(seed);
+    let (mut net, input, default_batch) = build_model(&model, classes, mode, &mut rng)?;
+    let batch: usize = args.get("batch", default_batch)?;
+    let mut source = make_source(input, classes, batch, seed);
+    let trainer = Trainer::new(TrainerConfig {
+        max_iterations: iterations,
+        eval_every: 10,
+        ..Default::default()
+    });
+    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.005 }, 0.9, 0.0)
+        .with_clip_norm(5.0);
+    println!("training {model} with {strategy_name} for {iterations} iterations ...");
+    let report = trainer.train(&mut net, strategy, &mut source, &mut sgd);
+    println!("{}", report.summary());
+
+    if let Some(path) = args.options.get("checkpoint") {
+        Checkpoint::capture(&mut net)
+            .save(path)
+            .map_err(|e| format!("saving checkpoint to {path}: {e}"))?;
+        println!("checkpoint saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let path = args
+        .options
+        .get("checkpoint")
+        .ok_or("eval requires --checkpoint PATH")?;
+    let model = args.get_str("model", "cifarnet");
+    let classes: usize = args.get("classes", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut rng = AdrRng::seeded(seed);
+    let (mut net, input, batch) = build_model(&model, classes, ConvMode::Dense, &mut rng)?;
+    Checkpoint::load(path)
+        .map_err(|e| format!("loading {path}: {e}"))?
+        .restore(&mut net)
+        .map_err(|e| format!("restoring into {model}: {e}"))?;
+    let mut source = make_source(input, classes, batch, seed);
+    let (images, labels) = source.probe();
+    let eval = net.evaluate(&images, &labels);
+    println!("probe accuracy {:.3}, loss {:.4}", eval.accuracy, eval.loss);
+    Ok(())
+}
+
+fn cmd_similarity(args: &Args) -> Result<(), String> {
+    let h: usize = args.get("hashes", 10)?;
+    let l: usize = args.get("sub-vector", 75)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut rng = AdrRng::seeded(seed);
+    let cfg = SynthConfig {
+        num_images: 8,
+        num_classes: 2,
+        height: 24,
+        width: 24,
+        channels: 3,
+        smoothing_passes: 3,
+        noise_std: 0.05,
+        max_shift: 2,
+        image_variability: 0.5,
+    };
+    let dataset = SynthDataset::generate(&cfg, &mut rng);
+    let (images, _) = dataset.batch(0, 8);
+    let geom = ConvGeom::new(24, 24, 3, 5, 5, 1, 0).unwrap();
+    let unfolded = im2col(&images, &geom);
+    let l = l.min(unfolded.cols());
+    let lsh = LshTable::new(l, h.clamp(1, 64), &mut rng);
+    let (table, _) = lsh.cluster_range(&unfolded, 0);
+    println!(
+        "{} neuron vectors (window length {l}, H = {h}): |C| = {}, remaining ratio r_c = {:.4}",
+        unfolded.rows(),
+        table.num_clusters(),
+        table.remaining_ratio()
+    );
+    println!("=> deep reuse would compute {:.1}% of the centroid GEMM rows", table.remaining_ratio() * 100.0);
+    Ok(())
+}
+
+const USAGE: &str = "usage: adr <train|eval|similarity> [options]
+  adr train      [--model M] [--strategy S] [--iterations N] [--classes N]
+                 [--batch N] [--lr F] [--seed N] [--sub-vector L] [--hashes H]
+                 [--checkpoint PATH]
+  adr eval       --checkpoint PATH [--model M] [--classes N] [--seed N]
+  adr similarity [--hashes H] [--sub-vector L] [--seed N]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.positional.first().map(String::as_str) {
+        Some("train") => cmd_train(&args),
+        Some("eval") => cmd_eval(&args),
+        Some("similarity") => cmd_similarity(&args),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

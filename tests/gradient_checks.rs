@@ -1,0 +1,152 @@
+//! Finite-difference gradient checks through whole multi-layer networks.
+//!
+//! These validate the backward pass of every layer *in composition* — the
+//! unit tests check layers in isolation; here the chain rule across layer
+//! boundaries (including im2col/col2im folding and shape transitions) is
+//! exercised end to end.
+
+use adaptive_deep_reuse::nn::conv::Conv2d;
+use adaptive_deep_reuse::nn::dense::Dense;
+use adaptive_deep_reuse::nn::lrn::Lrn;
+use adaptive_deep_reuse::nn::pool::Pool2d;
+use adaptive_deep_reuse::nn::relu::Relu;
+use adaptive_deep_reuse::nn::softmax::softmax_cross_entropy;
+use adaptive_deep_reuse::nn::{Mode, Network};
+use adaptive_deep_reuse::tensor::im2col::ConvGeom;
+use adaptive_deep_reuse::tensor::rng::AdrRng;
+use adaptive_deep_reuse::tensor::Tensor4;
+
+/// Loss of a network on a fixed labelled batch.
+fn loss_of(net: &mut Network, x: &Tensor4, labels: &[usize]) -> f32 {
+    let logits = net.forward(x, Mode::Eval);
+    softmax_cross_entropy(&logits, labels).loss
+}
+
+/// Checks dL/dx against finite differences at a sample of input positions.
+fn check_input_gradient(net: &mut Network, x: &Tensor4, labels: &[usize], tol: f32) {
+    let logits = net.forward(x, Mode::Train);
+    let out = softmax_cross_entropy(&logits, labels);
+    let dx = net.backward(&out.grad);
+    let base = out.loss;
+    let eps = 1e-2;
+    let stride = (x.len() / 7).max(1);
+    for idx in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[idx] += eps;
+        let lp = loss_of(net, &xp, labels);
+        let numeric = (lp - base) / eps;
+        let analytic = dx.as_slice()[idx];
+        assert!(
+            (numeric - analytic).abs() < tol,
+            "input idx {idx}: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}
+
+#[test]
+fn conv_relu_pool_dense_chain() {
+    let mut rng = AdrRng::seeded(1);
+    let mut net = Network::new((8, 8, 2));
+    let geom = ConvGeom::new(8, 8, 2, 3, 3, 1, 0).unwrap();
+    net.push(Box::new(Conv2d::new("conv", geom, 4, &mut rng)));
+    net.push(Box::new(Relu::new("relu")));
+    net.push(Box::new(Pool2d::max("pool", 2, 2)));
+    net.push(Box::new(Dense::new("fc", 3 * 3 * 4, 3, &mut rng)));
+    let mut xrng = AdrRng::seeded(2);
+    let x = Tensor4::from_fn(2, 8, 8, 2, |_, _, _, _| xrng.gauss() * 0.5);
+    check_input_gradient(&mut net, &x, &[0, 2], 2e-2);
+}
+
+#[test]
+fn two_conv_chain_with_padding_and_stride() {
+    let mut rng = AdrRng::seeded(3);
+    let mut net = Network::new((9, 9, 1));
+    let g1 = ConvGeom::new(9, 9, 1, 3, 3, 2, 1).unwrap(); // 9 -> 5
+    net.push(Box::new(Conv2d::new("conv1", g1, 3, &mut rng)));
+    net.push(Box::new(Relu::new("relu1")));
+    let g2 = ConvGeom::new(5, 5, 3, 3, 3, 1, 0).unwrap(); // 5 -> 3
+    net.push(Box::new(Conv2d::new("conv2", g2, 4, &mut rng)));
+    net.push(Box::new(Dense::new("fc", 3 * 3 * 4, 2, &mut rng)));
+    let mut xrng = AdrRng::seeded(4);
+    let x = Tensor4::from_fn(1, 9, 9, 1, |_, _, _, _| xrng.gauss() * 0.5);
+    check_input_gradient(&mut net, &x, &[1], 2e-2);
+}
+
+#[test]
+fn chain_with_lrn_and_avg_pool() {
+    let mut rng = AdrRng::seeded(5);
+    let mut net = Network::new((6, 6, 3));
+    let geom = ConvGeom::new(6, 6, 3, 3, 3, 1, 0).unwrap();
+    net.push(Box::new(Conv2d::new("conv", geom, 4, &mut rng)));
+    net.push(Box::new(Lrn::new("lrn", 1, 0.5, 0.75, 2.0)));
+    net.push(Box::new(Pool2d::avg("pool", 2, 2)));
+    net.push(Box::new(Dense::new("fc", 2 * 2 * 4, 3, &mut rng)));
+    let mut xrng = AdrRng::seeded(6);
+    let x = Tensor4::from_fn(1, 6, 6, 3, |_, _, _, _| xrng.gauss() * 0.4);
+    check_input_gradient(&mut net, &x, &[2], 3e-2);
+}
+
+#[test]
+fn weight_gradients_of_composed_network() {
+    let mut rng = AdrRng::seeded(7);
+    let mut net = Network::new((6, 6, 1));
+    let geom = ConvGeom::new(6, 6, 1, 3, 3, 1, 0).unwrap();
+    net.push(Box::new(Conv2d::new("conv", geom, 3, &mut rng)));
+    net.push(Box::new(Relu::new("relu")));
+    net.push(Box::new(Dense::new("fc", 4 * 4 * 3, 2, &mut rng)));
+    let mut xrng = AdrRng::seeded(8);
+    let x = Tensor4::from_fn(2, 6, 6, 1, |_, _, _, _| xrng.gauss() * 0.5);
+    let labels = [0usize, 1];
+
+    let logits = net.forward(&x, Mode::Train);
+    let out = softmax_cross_entropy(&logits, &labels);
+    net.backward(&out.grad);
+    let base = out.loss;
+
+    // Collect analytic gradients, then perturb weights one at a time.
+    let analytic: Vec<Vec<f32>> = net
+        .layers_mut()
+        .iter_mut()
+        .flat_map(|l| l.params_mut())
+        .map(|p| p.grad.to_vec())
+        .collect();
+    let eps = 1e-2;
+    for (pi, grads) in analytic.iter().enumerate() {
+        let stride = (grads.len() / 5).max(1);
+        for idx in (0..grads.len()).step_by(stride) {
+            {
+                let mut params: Vec<_> =
+                    net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
+                params[pi].data[idx] += eps;
+            }
+            let lp = loss_of(&mut net, &x, &labels);
+            {
+                let mut params: Vec<_> =
+                    net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
+                params[pi].data[idx] -= eps;
+            }
+            let numeric = (lp - base) / eps;
+            assert!(
+                (numeric - grads[idx]).abs() < 3e-2,
+                "param {pi} idx {idx}: numeric {numeric} vs analytic {}",
+                grads[idx]
+            );
+        }
+    }
+}
+
+#[test]
+fn dropout_eval_gradient_is_exact() {
+    // With dropout in eval mode the network is deterministic, so gradients
+    // must check out exactly like any other chain.
+    use adaptive_deep_reuse::nn::dropout::Dropout;
+    let mut rng = AdrRng::seeded(9);
+    let mut net = Network::new((4, 4, 2));
+    net.push(Box::new(Dense::new("fc1", 32, 8, &mut rng)));
+    net.push(Box::new(Relu::new("relu")));
+    net.push(Box::new(Dropout::new("drop", 0.0, AdrRng::seeded(10))));
+    net.push(Box::new(Dense::new("fc2", 8, 2, &mut rng)));
+    let mut xrng = AdrRng::seeded(11);
+    let x = Tensor4::from_fn(2, 4, 4, 2, |_, _, _, _| xrng.gauss() * 0.5);
+    check_input_gradient(&mut net, &x, &[0, 1], 2e-2);
+}

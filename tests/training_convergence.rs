@@ -1,0 +1,113 @@
+//! End-to-end training convergence: dense and reuse networks must both
+//! learn separable synthetic tasks, and the FLOP accounting must hold up
+//! over whole runs.
+
+use adaptive_deep_reuse::adaptive::trainer::BatchSource;
+use adaptive_deep_reuse::models::{alexnet, cifarnet, ConvMode};
+use adaptive_deep_reuse::nn::{LrSchedule, Sgd};
+use adaptive_deep_reuse::prelude::*;
+use adaptive_deep_reuse::reuse::ReuseConfig;
+use adaptive_deep_reuse::source::DatasetSource;
+
+fn dataset(seed: u64, hw: usize, n: usize) -> SynthDataset {
+    let cfg = SynthConfig {
+        num_images: n,
+        num_classes: 4,
+        height: hw,
+        width: hw,
+        channels: 3,
+        smoothing_passes: 2,
+        noise_std: 0.08,
+        max_shift: 2,
+        image_variability: 0.4,
+    };
+    SynthDataset::generate(&cfg, &mut AdrRng::seeded(seed))
+}
+
+fn train(
+    net: &mut Network,
+    source: &mut DatasetSource,
+    iterations: usize,
+    lr: f32,
+) -> (f32, f32) {
+    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.002 }, 0.9, 0.0)
+        .with_clip_norm(5.0);
+    let mut last_loss = f32::INFINITY;
+    for it in 0..iterations {
+        let (x, y) = source.batch(it % source.num_batches());
+        last_loss = net.train_batch(&x, &y, &mut sgd).loss;
+    }
+    let (px, py) = source.probe();
+    (net.evaluate(&px, &py).accuracy, last_loss)
+}
+
+#[test]
+fn dense_cifarnet_learns_synthetic_classes() {
+    let mut rng = AdrRng::seeded(1);
+    let mut net = cifarnet::bench_scale(4, ConvMode::Dense, &mut rng);
+    let mut source = DatasetSource::new(dataset(2, 16, 160), 16, 32);
+    let (acc, loss) = train(&mut net, &mut source, 150, 0.02);
+    assert!(acc > 0.6, "dense accuracy {acc}");
+    assert!(loss < 1.0, "dense loss {loss}");
+}
+
+#[test]
+fn reuse_cifarnet_learns_with_precise_settings() {
+    let mut rng = AdrRng::seeded(3);
+    let mut net =
+        cifarnet::bench_scale(4, ConvMode::Reuse(ReuseConfig::new(5, 13, false)), &mut rng);
+    let mut source = DatasetSource::new(dataset(4, 16, 160), 16, 32);
+    let (acc, _) = train(&mut net, &mut source, 300, 0.02);
+    assert!(acc > 0.55, "reuse accuracy {acc}");
+    // And it must have cost less than the dense equivalent.
+    let flops = net.flops();
+    let baseline = net.baseline_flops();
+    assert!(flops.total() < baseline.total());
+}
+
+#[test]
+fn reuse_training_flops_scale_with_aggressiveness() {
+    // Same run length, two configs: the more aggressive one must do less work.
+    let run = |l: usize, h: usize| {
+        let mut rng = AdrRng::seeded(5);
+        let mut net =
+            cifarnet::bench_scale(4, ConvMode::Reuse(ReuseConfig::new(l, h, false)), &mut rng);
+        let mut source = DatasetSource::new(dataset(6, 16, 96), 16, 16);
+        train(&mut net, &mut source, 30, 0.02);
+        net.flops().total()
+    };
+    let aggressive = run(40, 6);
+    let precise = run(5, 13);
+    assert!(
+        aggressive < precise,
+        "aggressive {aggressive} should cost less than precise {precise}"
+    );
+}
+
+#[test]
+fn alexnet_bench_scale_trains_one_epoch_without_errors() {
+    let mut rng = AdrRng::seeded(7);
+    let mut net = alexnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    let mut source = DatasetSource::new(dataset(8, 64, 48), 8, 8);
+    let (acc, loss) = train(&mut net, &mut source, 5, 0.01);
+    assert!(loss.is_finite());
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn deterministic_training_given_seeds() {
+    let run = || {
+        let mut rng = AdrRng::seeded(11);
+        let mut net =
+            cifarnet::bench_scale(4, ConvMode::Reuse(ReuseConfig::new(10, 8, false)), &mut rng);
+        let mut source = DatasetSource::new(dataset(12, 16, 64), 16, 16);
+        let mut sgd = Sgd::constant(0.02);
+        let mut losses = Vec::new();
+        for it in 0..10 {
+            let (x, y) = source.batch(it % source.num_batches());
+            losses.push(net.train_batch(&x, &y, &mut sgd).loss);
+        }
+        losses
+    };
+    assert_eq!(run(), run(), "same seeds must give bit-identical training");
+}
