@@ -1,18 +1,17 @@
 //! Dense backward vs reuse backward (Eqs. 9/10 and 17/18): the paper's
 //! claim that forward clustering makes the backward pass cheap.
 
+use adr_bench::timing::BenchGroup;
 use adr_nn::conv::Conv2d;
 use adr_nn::{Layer, Mode};
 use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::im2col::ConvGeom;
 use adr_tensor::rng::AdrRng;
 use adr_tensor::Tensor4;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_backward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("backward_reuse");
-    group.sample_size(10);
-    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+fn main() {
+    let mut group = BenchGroup::new("backward_reuse", 10);
+    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).expect("kernel fits input");
     let mut rng = AdrRng::seeded(1);
     let mut dense = Conv2d::new("dense", geom, 64, &mut rng);
     let mut xrng = AdrRng::seeded(2);
@@ -21,27 +20,16 @@ fn bench_backward(c: &mut Criterion) {
     });
     let grad = Tensor4::from_fn(16, 15, 15, 64, |_, _, _, cc| (cc % 3) as f32 - 1.0);
 
-    group.bench_function("dense", |b| {
-        b.iter(|| {
-            dense.forward(&x, Mode::Train);
-            dense.backward(&grad)
-        })
+    group.bench("dense", || {
+        dense.forward(&x, Mode::Train);
+        dense.backward(&grad)
     });
     for (l, h) in [(80usize, 8usize), (20, 8), (5, 12)] {
         let mut reuse = ReuseConv2d::from_dense(&dense, ReuseConfig::new(l, h, false), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("reuse", format!("L{l}_H{h}")),
-            &(),
-            |b, ()| {
-                b.iter(|| {
-                    reuse.forward(&x, Mode::Train);
-                    reuse.backward(&grad)
-                })
-            },
-        );
+        group.bench(&format!("reuse/L{l}_H{h}"), || {
+            reuse.forward(&x, Mode::Train);
+            reuse.backward(&grad)
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_backward);
-criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! time: measured forward time across {L, H} settings should rank the same
 //! way the model ranks them.
 
+use adr_bench::timing::BenchGroup;
 use adr_nn::conv::Conv2d;
 use adr_nn::{Layer, Mode};
 use adr_reuse::cost::{forward_cost, CostParams};
@@ -9,12 +10,10 @@ use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::im2col::ConvGeom;
 use adr_tensor::rng::AdrRng;
 use adr_tensor::Tensor4;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_cost_model(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_model");
-    group.sample_size(10);
-    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+fn main() {
+    let mut group = BenchGroup::new("cost_model", 10);
+    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).expect("kernel fits input");
     let mut rng = AdrRng::seeded(1);
     let dense = Conv2d::new("dense", geom, 64, &mut rng);
     let mut xrng = AdrRng::seeded(2);
@@ -28,14 +27,9 @@ fn bench_cost_model(c: &mut Criterion) {
         reuse.forward(&x, Mode::Eval);
         let rc = reuse.stats().avg_remaining_ratio;
         let model = forward_cost(&CostParams { m: 64, l, h, rc, reuse_rate: 0.0 });
-        group.bench_with_input(
-            BenchmarkId::new("measured", format!("L{l}_H{h}_model{model:.3}")),
-            &x,
-            |b, x| b.iter(|| reuse.forward(x, Mode::Eval)),
-        );
+        group.bench(&format!("measured/L{l}_H{h}_model{model:.3}"), || {
+            reuse.forward(&x, Mode::Eval)
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_cost_model);
-criterion_main!(benches);

@@ -1,43 +1,31 @@
 //! GEMM kernel scaling: blocked serial vs row-parallel, and the
 //! transposed-product variants the backward pass uses.
 
+use adr_bench::timing::BenchGroup;
 use adr_tensor::matrix::Matrix;
 use adr_tensor::par::matmul_par;
 use adr_tensor::rng::AdrRng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn random_matrix(r: usize, c: usize, seed: u64) -> Matrix {
     let mut rng = AdrRng::seeded(seed);
     Matrix::from_fn(r, c, |_, _| rng.gauss())
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("gemm", 10);
     // Shapes mirror the unfolded convolutions of the bench models:
     // (N, K, M) triples.
     for &(n, k, m) in &[(1024usize, 75usize, 64usize), (784, 800, 64), (3600, 1600, 64)] {
         let a = random_matrix(n, k, 1);
         let b = random_matrix(k, m, 2);
-        group.bench_with_input(
-            BenchmarkId::new("serial", format!("{n}x{k}x{m}")),
-            &(&a, &b),
-            |bench, (a, b)| bench.iter(|| a.matmul(b)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("parallel", format!("{n}x{k}x{m}")),
-            &(&a, &b),
-            |bench, (a, b)| bench.iter(|| matmul_par(a, b)),
-        );
+        group.bench(&format!("serial/{n}x{k}x{m}"), || a.matmul(&b));
+        group.bench(&format!("parallel/{n}x{k}x{m}"), || matmul_par(&a, &b));
     }
     // Backward-shape products.
     let a = random_matrix(784, 800, 3);
     let dy = random_matrix(784, 64, 4);
     let w = random_matrix(800, 64, 5);
-    group.bench_function("weight_grad_xT_dy", |b| b.iter(|| a.matmul_t_a(&dy)));
-    group.bench_function("input_delta_dy_wT", |b| b.iter(|| dy.matmul_t_b(&w)));
+    group.bench("weight_grad_xT_dy", || a.matmul_t_a(&dy));
+    group.bench("input_delta_dy_wT", || dy.matmul_t_b(&w));
     group.finish();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

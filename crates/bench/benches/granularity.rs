@@ -2,18 +2,17 @@
 //! smaller L exposes more reuse but pays O(N·K/L·M) adds — this bench makes
 //! the U-shaped cost curve measurable.
 
+use adr_bench::timing::BenchGroup;
 use adr_nn::conv::Conv2d;
 use adr_nn::{Layer, Mode};
 use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::im2col::ConvGeom;
 use adr_tensor::rng::AdrRng;
 use adr_tensor::Tensor4;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_granularity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("granularity");
-    group.sample_size(10);
-    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+fn main() {
+    let mut group = BenchGroup::new("granularity", 10);
+    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).expect("kernel fits input");
     let mut rng = AdrRng::seeded(1);
     let dense = Conv2d::new("dense", geom, 64, &mut rng);
     let mut xrng = AdrRng::seeded(2);
@@ -22,12 +21,7 @@ fn bench_granularity(c: &mut Criterion) {
     });
     for l in [1600usize, 400, 160, 80, 40, 20, 10, 5] {
         let mut reuse = ReuseConv2d::from_dense(&dense, ReuseConfig::new(l, 8, false), &mut rng);
-        group.bench_with_input(BenchmarkId::new("forward", l), &x, |b, x| {
-            b.iter(|| reuse.forward(x, Mode::Eval))
-        });
+        group.bench(&format!("forward/L{l}"), || reuse.forward(&x, Mode::Eval));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_granularity);
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! Clustering-method cost comparison: the reason the paper picks LSH for
 //! the online path and k-means only for offline verification (§III-B).
 
+use adr_bench::timing::BenchGroup;
 use adr_clustering::kmeans::{kmeans, KMeansConfig};
 use adr_clustering::lsh::LshTable;
 use adr_tensor::matrix::Matrix;
 use adr_tensor::rng::AdrRng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_clustering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kmeans_vs_lsh");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("kmeans_vs_lsh", 10);
     let mut rng = AdrRng::seeded(1);
     for &n in &[512usize, 2048] {
         let data = Matrix::from_fn(n, 75, |_, _| rng.gauss());
         let lsh = LshTable::new(75, 12, &mut rng);
-        group.bench_with_input(BenchmarkId::new("lsh_h12", n), &data, |b, d| {
-            b.iter(|| lsh.cluster(d))
-        });
-        group.bench_with_input(BenchmarkId::new("kmeans_k64", n), &data, |b, d| {
-            let cfg = KMeansConfig { k: 64, max_iters: 10, tolerance: 1e-3 };
-            let mut krng = AdrRng::seeded(2);
-            b.iter(|| kmeans(d, &cfg, &mut krng))
-        });
+        group.bench(&format!("lsh_h12/{n}"), || lsh.cluster(&data));
+        let cfg = KMeansConfig { k: 64, max_iters: 10, tolerance: 1e-3 };
+        let mut krng = AdrRng::seeded(2);
+        group.bench(&format!("kmeans_k64/{n}"), || kmeans(&data, &cfg, &mut krng));
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_clustering);
-criterion_main!(benches);

@@ -1,49 +1,32 @@
 //! LSH hashing cost: per-family vs packed multi-sub-matrix hashing, across
 //! H and L — the paper's `N·K·H` overhead term made concrete.
 
+use adr_bench::timing::BenchGroup;
 use adr_clustering::lsh::LshTable;
 use adr_reuse::hashpack::PackedHasher;
 use adr_reuse::subvec::SubVecSplit;
 use adr_tensor::matrix::Matrix;
 use adr_tensor::rng::AdrRng;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_hashing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lsh_hashing");
-    group.sample_size(10);
+fn main() {
+    let mut group = BenchGroup::new("lsh_hashing", 10);
     let mut rng = AdrRng::seeded(1);
     let x = Matrix::from_fn(3600, 1600, |_, _| rng.gauss());
     for &h in &[4usize, 8, 15] {
         for &l in &[1600usize, 80, 5] {
             let split = SubVecSplit::new(1600, l);
-            let families: Vec<LshTable> = split
-                .ranges()
-                .iter()
-                .map(|&(a, b)| LshTable::new(b - a, h, &mut rng))
-                .collect();
+            let families: Vec<LshTable> =
+                split.ranges().iter().map(|&(a, b)| LshTable::new(b - a, h, &mut rng)).collect();
             let packed = PackedHasher::new(&split, &families);
-            group.bench_with_input(
-                BenchmarkId::new("packed", format!("L{l}_H{h}")),
-                &(&packed, &x),
-                |bench, (packed, x)| bench.iter(|| packed.hash_all(x)),
-            );
-            group.bench_with_input(
-                BenchmarkId::new("per_family", format!("L{l}_H{h}")),
-                &(&families, &split, &x),
-                |bench, (families, split, x)| {
-                    bench.iter(|| {
-                        let mut total = 0u64;
-                        for (i, &(a, _)) in split.ranges().iter().enumerate() {
-                            total += families[i].signatures_range(x, a).len() as u64;
-                        }
-                        total
-                    })
-                },
-            );
+            group.bench(&format!("packed/L{l}_H{h}"), || packed.hash_all(&x));
+            group.bench(&format!("per_family/L{l}_H{h}"), || {
+                let mut total = 0u64;
+                for (i, &(a, _)) in split.ranges().iter().enumerate() {
+                    total += families[i].signatures_range(&x, a).len() as u64;
+                }
+                total
+            });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_hashing);
-criterion_main!(benches);

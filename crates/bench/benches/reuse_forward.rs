@@ -1,13 +1,13 @@
 //! Dense convolution forward vs deep-reuse forward across reuse strengths —
 //! the wall-time counterpart of Eq. 5.
 
+use adr_bench::timing::BenchGroup;
 use adr_nn::conv::Conv2d;
 use adr_nn::{Layer, Mode};
 use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::im2col::ConvGeom;
 use adr_tensor::rng::AdrRng;
 use adr_tensor::Tensor4;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn smooth_input(seed: u64) -> Tensor4 {
     let mut rng = AdrRng::seeded(seed);
@@ -16,28 +16,20 @@ fn smooth_input(seed: u64) -> Tensor4 {
     })
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reuse_forward");
-    group.sample_size(10);
-    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+fn main() {
+    let mut group = BenchGroup::new("reuse_forward", 10);
+    let geom = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).expect("kernel fits input");
     let mut rng = AdrRng::seeded(1);
     let mut dense = Conv2d::new("dense", geom, 64, &mut rng);
     let x = smooth_input(2);
-    group.bench_function("dense", |b| b.iter(|| dense.forward(&x, Mode::Eval)));
+    group.bench("dense", || dense.forward(&x, Mode::Eval));
     for (l, h) in [(1600usize, 8usize), (80, 8), (20, 8), (5, 8), (5, 15)] {
         let mut reuse = ReuseConv2d::from_dense(&dense, ReuseConfig::new(l, h, false), &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("reuse", format!("L{l}_H{h}")),
-            &x,
-            |b, x| b.iter(|| reuse.forward(x, Mode::Eval)),
-        );
+        group.bench(&format!("reuse/L{l}_H{h}"), || reuse.forward(&x, Mode::Eval));
     }
     // Cluster reuse on a repeating stream (the Algorithm 1 best case).
     let mut cached = ReuseConv2d::from_dense(&dense, ReuseConfig::new(80, 8, true), &mut rng);
     cached.forward(&x, Mode::Eval); // warm the cache
-    group.bench_function("reuse_CR_warm", |b| b.iter(|| cached.forward(&x, Mode::Eval)));
+    group.bench("reuse_CR_warm", || cached.forward(&x, Mode::Eval));
     group.finish();
 }
-
-criterion_group!(benches, bench_forward);
-criterion_main!(benches);

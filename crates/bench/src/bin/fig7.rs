@@ -22,12 +22,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    print_table(&["network", "layer", "scope", "k", "rc", "accuracy", "orig_accuracy"], &table);
+    let csv_path = "results/fig7.csv".to_string();
+    match write_csv(
+        &csv_path,
         &["network", "layer", "scope", "k", "rc", "accuracy", "orig_accuracy"],
         &table,
-    );
-    let csv_path = format!("results/fig7.csv");
-    match write_csv(&csv_path, &["network", "layer", "scope", "k", "rc", "accuracy", "orig_accuracy"], &table) {
+    ) {
         Ok(()) => println!("\n(rows also written to {csv_path})"),
         Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
     }

@@ -23,8 +23,12 @@ fn main() {
         })
         .collect();
     print_table(&["network", "layer", "L", "H", "rc", "accuracy", "orig_accuracy"], &table);
-    let csv_path = format!("results/fig8.csv");
-    match write_csv(&csv_path, &["network", "layer", "L", "H", "rc", "accuracy", "orig_accuracy"], &table) {
+    let csv_path = "results/fig8.csv".to_string();
+    match write_csv(
+        &csv_path,
+        &["network", "layer", "L", "H", "rc", "accuracy", "orig_accuracy"],
+        &table,
+    ) {
         Ok(()) => println!("\n(rows also written to {csv_path})"),
         Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
     }

@@ -59,12 +59,18 @@ fn main() {
 
         for (idx, name) in [(0usize, "conv1"), (3, "conv2")] {
             let gd = {
-                let any = dense_net.layers_mut()[idx].as_any_mut().unwrap();
-                any.downcast_mut::<Conv2d>().unwrap().params_mut()[0].grad.to_vec()
+                let any =
+                    dense_net.layers_mut()[idx].as_any_mut().expect("conv layer is downcastable");
+                any.downcast_mut::<Conv2d>().expect("layer is a Conv2d").params_mut()[0]
+                    .grad
+                    .to_vec()
             };
             let gr = {
-                let any = reuse_net.layers_mut()[idx].as_any_mut().unwrap();
-                any.downcast_mut::<ReuseConv2d>().unwrap().params_mut()[0].grad.to_vec()
+                let any =
+                    reuse_net.layers_mut()[idx].as_any_mut().expect("conv layer is downcastable");
+                any.downcast_mut::<ReuseConv2d>().expect("layer is a ReuseConv2d").params_mut()[0]
+                    .grad
+                    .to_vec()
             };
             println!(
                 "L={l:<5} H={h:<2} {name:>6} {:>10.4} {:>10.3} {:>10} {:>10.4}",

@@ -8,12 +8,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     println!("Reuse-rate growth over batches (CifarNet conv1, CR = 1)\n");
     let rows = reuse_rate_growth(quick);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.batch.to_string(), format!("{:.3}", r.reuse_rate)])
-        .collect();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|r| vec![r.batch.to_string(), format!("{:.3}", r.reuse_rate)]).collect();
     print_table(&["batch", "reuse rate R"], &table);
-    let csv_path = format!("results/reuse_rate.csv");
+    let csv_path = "results/reuse_rate.csv".to_string();
     match write_csv(&csv_path, &["batch", "reuse rate R"], &table) {
         Ok(()) => println!("\n(rows also written to {csv_path})"),
         Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),

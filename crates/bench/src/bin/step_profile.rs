@@ -22,17 +22,23 @@ fn main() {
         let mut sgd = Sgd::new(LrSchedule::Constant(0.001), 0.9, 0.0);
         let (x, y) = source.batch(0);
         // warm up
-        for _ in 0..3 { net.train_batch(&x, &y, &mut sgd); }
+        for _ in 0..3 {
+            net.train_batch(&x, &y, &mut sgd);
+        }
         net.reset_flops();
         let t = Instant::now();
         let reps = 15;
-        for _ in 0..reps { net.train_batch(&x, &y, &mut sgd); }
+        for _ in 0..reps {
+            net.train_batch(&x, &y, &mut sgd);
+        }
         let el = t.elapsed() / reps;
         let f = net.flops();
         let b = net.baseline_flops();
-        println!("{label:<14} step {el:?} fwd_flops {:.2}x bwd_flops {:.2}x",
+        println!(
+            "{label:<14} step {el:?} fwd_flops {:.2}x bwd_flops {:.2}x",
             f.forward as f64 / b.forward.max(1) as f64,
-            f.backward as f64 / b.backward.max(1) as f64);
+            f.backward as f64 / b.backward.max(1) as f64
+        );
     }
     // forward-only timing
     for (label, mode) in [
@@ -42,9 +48,13 @@ fn main() {
         let mut r = AdrRng::seeded(9);
         let mut net = cifarnet::bench_scale(10, mode, &mut r);
         let (x, _) = source.batch(0);
-        for _ in 0..3 { net.forward(&x, adr_nn::Mode::Eval); }
+        for _ in 0..3 {
+            net.forward(&x, adr_nn::Mode::Eval);
+        }
         let t = Instant::now();
-        for _ in 0..15 { net.forward(&x, adr_nn::Mode::Eval); }
+        for _ in 0..15 {
+            net.forward(&x, adr_nn::Mode::Eval);
+        }
         println!("{label:<14} forward-only {:?}", t.elapsed() / 15);
     }
 }

@@ -22,8 +22,9 @@ fn main() {
         })
         .collect();
     print_table(&["layer", "L", "H", "acc CR=0", "acc CR=1", "reuse rate R"], &table);
-    let csv_path = format!("results/table3.csv");
-    match write_csv(&csv_path, &["layer", "L", "H", "acc CR=0", "acc CR=1", "reuse rate R"], &table) {
+    let csv_path = "results/table3.csv".to_string();
+    match write_csv(&csv_path, &["layer", "L", "H", "acc CR=0", "acc CR=1", "reuse rate R"], &table)
+    {
         Ok(()) => println!("\n(rows also written to {csv_path})"),
         Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
     }

@@ -16,8 +16,7 @@ fn main() {
                 r.network.to_string(),
                 r.strategy.clone(),
                 r.iterations.to_string(),
-                r.iterations_to_target
-                    .map_or_else(|| "-".into(), |i| i.to_string()),
+                r.iterations_to_target.map_or_else(|| "-".into(), |i| i.to_string()),
                 format!("{:.3}", r.final_accuracy),
                 format!("{:.1}%", r.flop_savings * 100.0),
                 format!("{:.2}", r.wall_time_s),
@@ -38,8 +37,10 @@ fn main() {
         ],
         &table,
     );
-    let csv_path = format!("results/table4.csv");
-    match write_csv(&csv_path, &[
+    let csv_path = "results/table4.csv".to_string();
+    match write_csv(
+        &csv_path,
+        &[
             "network",
             "strategy",
             "iters",
@@ -48,7 +49,9 @@ fn main() {
             "flop savings",
             "wall time (s)",
             "time savings",
-        ], &table) {
+        ],
+        &table,
+    ) {
         Ok(()) => println!("\n(rows also written to {csv_path})"),
         Err(e) => eprintln!("warning: could not write {csv_path}: {e}"),
     }

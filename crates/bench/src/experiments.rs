@@ -12,12 +12,11 @@ use adr_nn::{LrSchedule, Network, Sgd};
 use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::rng::AdrRng;
 
-pub use crate::harness::{synth_custom, synth_for};
 use crate::harness::{
     evaluate_with_kmeans_conv, reuse_stats, set_reuse_config, swap_in_reuse, train_dense,
     DatasetSource, Scope,
 };
-
+pub use crate::harness::{synth_custom, synth_for};
 
 // ---------------------------------------------------------------------------
 // Fig. 7 — k-means verification of neuron-vector similarity
@@ -53,17 +52,10 @@ pub fn fig7(quick: bool) -> Vec<Fig7Row> {
     {
         let mut rng = AdrRng::seeded(701);
         let classes = if quick { 4 } else { 10 };
-        let dataset = synth_custom(
-            (16, 16, 3),
-            if quick { 80 } else { 480 },
-            classes,
-            2,
-            0.5,
-            &mut rng,
-        );
+        let dataset =
+            synth_custom((16, 16, 3), if quick { 80 } else { 480 }, classes, 2, 0.5, &mut rng);
         let mut source = DatasetSource::new(dataset, 16, if quick { 32 } else { 48 });
-        let mut net =
-            adr_models::cifarnet::bench_scale(classes, ConvMode::Dense, &mut rng);
+        let mut net = adr_models::cifarnet::bench_scale(classes, ConvMode::Dense, &mut rng);
         train_dense(&mut net, &mut source, if quick { 40 } else { 400 }, 0.02);
         let (images, labels) = adr_core::trainer::BatchSource::probe(&mut source);
         let baseline = net.evaluate(&images, &labels).accuracy;
@@ -151,6 +143,10 @@ fn l_sweep(k: usize, kw: usize, quick: bool) -> Vec<usize> {
 /// Regenerates Fig. 8: for conv2 of CifarNet, AlexNet and VGG-19, sweep the
 /// sub-vector length (curves) and the number of hash functions (dots along
 /// each curve), recording r_c and inference accuracy.
+///
+/// # Panics
+/// Panics when a model builder produces geometry the forward pass rejects
+/// (never for the shipped cases).
 pub fn fig8(quick: bool) -> Vec<Fig8Row> {
     let hs: &[usize] = if quick { &[4, 10] } else { &[2, 4, 6, 8, 12, 16, 24, 32] };
     let mut rows = Vec::new();
@@ -169,14 +165,8 @@ pub fn fig8(quick: bool) -> Vec<Fig8Row> {
     {
         let mut rng = AdrRng::seeded(801);
         let classes = if quick { 4 } else { 10 };
-        let dataset = synth_custom(
-            (16, 16, 3),
-            if quick { 80 } else { 480 },
-            classes,
-            2,
-            0.5,
-            &mut rng,
-        );
+        let dataset =
+            synth_custom((16, 16, 3), if quick { 80 } else { 480 }, classes, 2, 0.5, &mut rng);
         let mut source = DatasetSource::new(dataset, 16, if quick { 32 } else { 48 });
         let mut net = adr_models::cifarnet::bench_scale(classes, ConvMode::Dense, &mut rng);
         train_dense(&mut net, &mut source, if quick { 40 } else { 400 }, 0.02);
@@ -283,14 +273,8 @@ pub struct Table3Row {
 pub fn table3(quick: bool) -> Vec<Table3Row> {
     let mut rng = AdrRng::seeded(301);
     let classes = if quick { 4 } else { 10 };
-    let dataset = synth_custom(
-        (16, 16, 3),
-        if quick { 96 } else { 480 },
-        classes,
-        2,
-        0.5,
-        &mut rng,
-    );
+    let dataset =
+        synth_custom((16, 16, 3), if quick { 96 } else { 480 }, classes, 2, 0.5, &mut rng);
     let mut source = DatasetSource::new(dataset, 16, 32);
     let mut net = adr_models::cifarnet::bench_scale(classes, ConvMode::Dense, &mut rng);
     train_dense(&mut net, &mut source, if quick { 40 } else { 400 }, 0.02);
@@ -302,10 +286,10 @@ pub fn table3(quick: bool) -> Vec<Table3Row> {
     for (layer, idx, l, h) in cases {
         let mut swapped = false;
         let acc_for = |net: &mut Network,
-                           source: &mut DatasetSource,
-                           cr: bool,
-                           swapped: &mut bool,
-                           rng: &mut AdrRng|
+                       source: &mut DatasetSource,
+                       cr: bool,
+                       swapped: &mut bool,
+                       rng: &mut AdrRng|
          -> (f32, f64) {
             let cfg = ReuseConfig::new(l, h, cr);
             if *swapped {
@@ -349,17 +333,15 @@ pub struct ReuseRateRow {
 
 /// Regenerates the §VI-B1 observation that with cluster reuse the per-batch
 /// reuse rate climbs towards ~1 after a couple of dozen batches.
+///
+/// # Panics
+/// Panics when the probed layer is not a [`ReuseConv2d`] (never for the
+/// network built here).
 pub fn reuse_rate_growth(quick: bool) -> Vec<ReuseRateRow> {
     let mut rng = AdrRng::seeded(311);
     let classes = if quick { 4 } else { 10 };
-    let dataset = synth_custom(
-        (16, 16, 3),
-        if quick { 96 } else { 480 },
-        classes,
-        2,
-        0.5,
-        &mut rng,
-    );
+    let dataset =
+        synth_custom((16, 16, 3), if quick { 96 } else { 480 }, classes, 2, 0.5, &mut rng);
     let mut source = DatasetSource::new(dataset, 16, 32);
     let mut net = adr_models::cifarnet::bench_scale(classes, ConvMode::Dense, &mut rng);
     train_dense(&mut net, &mut source, if quick { 30 } else { 300 }, 0.02);
@@ -498,9 +480,8 @@ pub fn table4(quick: bool) -> Vec<Table4Row> {
         let mut reference_target = 0.5f32;
         for (mode, strategy) in strategies {
             let report = run_one(case, mode, strategy, quick);
-            let time_savings = baseline_time
-                .map(|t| 1.0 - report.wall_time.as_secs_f64() / t)
-                .unwrap_or(0.0);
+            let time_savings =
+                baseline_time.map(|t| 1.0 - report.wall_time.as_secs_f64() / t).unwrap_or(0.0);
             if baseline_time.is_none() {
                 baseline_time = Some(report.wall_time.as_secs_f64());
                 reference_target = (report.final_accuracy * 0.8).max(0.3);
@@ -553,9 +534,8 @@ fn run_one(case: &Table4Case, mode: ConvMode, strategy: Strategy, quick: bool) -
         max_h_values: 5,
         history_samples: 128,
     });
-    let mut sgd =
-        Sgd::new(LrSchedule::InverseTime { base: case.lr, rate: 0.005 }, 0.9, 0.0)
-            .with_clip_norm(5.0);
+    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: case.lr, rate: 0.005 }, 0.9, 0.0)
+        .with_clip_norm(5.0);
     trainer.train(&mut net, strategy, &mut source, &mut sgd)
 }
 
@@ -594,10 +574,7 @@ mod tests {
         let l_of_first = rows[0].l;
         let curve: Vec<_> = rows.iter().filter(|r| r.l == l_of_first).collect();
         assert!(curve.len() >= 2);
-        assert!(
-            curve.last().unwrap().rc >= curve.first().unwrap().rc,
-            "rc must grow with H"
-        );
+        assert!(curve.last().unwrap().rc >= curve.first().unwrap().rc, "rc must grow with H");
     }
 
     #[test]

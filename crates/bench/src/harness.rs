@@ -13,7 +13,6 @@ use adr_tensor::Tensor4;
 
 use adr_data::synth::SynthDataset;
 
-
 /// Builds a synthetic dataset matching a network's input shape, with
 /// explicit smoothness/variability (the two knobs that set the task
 /// difficulty and the neuron-vector redundancy level).
@@ -147,6 +146,9 @@ impl Scope {
 /// verification path): unfold, cluster rows into `k` clusters at the given
 /// scope, compute centroid outputs, scatter to members. Returns the output
 /// tensor and the achieved remaining ratio `r_c`.
+///
+/// # Panics
+/// Panics when `input` is incompatible with the convolution's geometry.
 pub fn kmeans_conv_forward(
     conv: &Conv2d,
     input: &Tensor4,
@@ -267,6 +269,9 @@ pub fn reuse_stats(net: &Network, layer_idx: usize) -> adr_reuse::ReuseStats {
 }
 
 /// Mean across-batch reuse rate of the [`ReuseConv2d`] at `layer_idx`.
+///
+/// # Panics
+/// Panics when `layer_idx` does not point at a [`ReuseConv2d`].
 pub fn reuse_rate(net: &Network, layer_idx: usize) -> f64 {
     net.layers()[layer_idx]
         .as_any()
@@ -307,11 +312,8 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let joined: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let joined: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         println!("| {} |", joined.join(" | "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());

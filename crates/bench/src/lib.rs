@@ -15,5 +15,9 @@
 //! | `table4` | Table IV + §VI-B2 — training-time savings of strategies 1–3 |
 //! | `reuse_rate` | §VI-B1 — reuse rate R growth over batches |
 
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod harness;
+pub mod timing;

@@ -1,0 +1,60 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the `benches/` targets use this
+//! tiny criterion-style shim instead of an external harness: each benchmark
+//! runs a warm-up pass, then `samples` timed iterations, and prints the
+//! minimum / median / maximum per-iteration time. Results go to stdout as an
+//! aligned table; no statistics beyond order stats are attempted — these
+//! benches exist to rank configurations (e.g. the U-shaped granularity
+//! curve), not to detect 1% regressions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A named group of related measurements, printed as one table.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    rows: Vec<(String, f64, f64, f64)>,
+}
+
+impl BenchGroup {
+    /// Creates a group that times each benchmark `samples` times.
+    ///
+    /// # Panics
+    /// Panics if `samples == 0`.
+    pub fn new(name: &str, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        Self { name: name.to_string(), samples, rows: Vec::new() }
+    }
+
+    /// Times `f`, recording per-iteration wall time under `id`.
+    ///
+    /// The closure's result is passed through [`black_box`] so the optimiser
+    /// cannot delete the measured work.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        black_box(f()); // warm-up: page in buffers, warm caches
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let min = times[0];
+        let med = times[times.len() / 2];
+        let max = times[times.len() - 1];
+        println!("{}/{id}: min {min:.3} ms, median {med:.3} ms, max {max:.3} ms", self.name);
+        self.rows.push((id.to_string(), min, med, max));
+    }
+
+    /// Prints the group summary table.
+    pub fn finish(self) {
+        println!("\n== {} ({} samples/bench) ==", self.name, self.samples);
+        let width = self.rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);
+        println!("{:<width$}  {:>10}  {:>10}  {:>10}", "id", "min ms", "median ms", "max ms");
+        for (id, min, med, max) in &self.rows {
+            println!("{id:<width$}  {min:>10.3}  {med:>10.3}  {max:>10.3}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: seeded `adr::no_panic` macro violations.
+//! Not compiled — scanned by the adr-check integration test.
+
+/// Explicit panic in library code: a violation.
+pub fn reconstruct(cluster: usize) -> usize {
+    if cluster == usize::MAX {
+        panic!("invalid cluster id");
+    }
+    cluster
+}
+
+/// `.expect()` in library code: a violation.
+pub fn centroid(ids: &[usize]) -> usize {
+    ids.first().copied().expect("at least one cluster")
+}

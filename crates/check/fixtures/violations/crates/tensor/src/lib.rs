@@ -1,0 +1,24 @@
+//! Fixture: seeded `adr::no_panic` and `adr::shape_docs` violations.
+//! Not compiled — scanned by the adr-check integration test.
+
+/// Builds a matrix. Deliberately missing its shape-contract doc section.
+pub fn make_matrix(rows: usize, cols: usize) -> Vec<f32> {
+    vec![0.0; rows.checked_mul(cols).unwrap()]
+}
+
+/// Fine: documented shape contract.
+///
+/// # Shape
+/// Output has `rows × cols` entries.
+pub fn make_matrix_documented(rows: usize, cols: usize) -> Vec<f32> {
+    vec![0.0; rows * cols]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

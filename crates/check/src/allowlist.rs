@@ -1,0 +1,107 @@
+//! The audited-site allowlist (`adr-check.allow` at the workspace root).
+//!
+//! Each line has the form:
+//!
+//! ```text
+//! crates/tensor/src/matrix.rs: from_vec(   # audited: error path returns Err
+//! ```
+//!
+//! i.e. `<workspace-relative path>: <substring of the offending line>`,
+//! optionally followed by a `#` comment. A finding is suppressed when an
+//! entry's path matches the finding's file and its substring occurs in the
+//! flagged source line. Matching on line *content* instead of line numbers
+//! keeps entries stable across unrelated edits.
+
+/// One allowlist entry.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// Substring that must occur in the flagged line.
+    pub pattern: String,
+    /// Source line in the allowlist file (for unused-entry reporting).
+    pub line: usize,
+}
+
+/// Parsed allowlist with per-entry hit counts.
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    hits: Vec<std::cell::Cell<usize>>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Lines that are empty or start with `#` are
+    /// ignored; malformed lines (no `:`) are reported as errors.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = raw_line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((path, pattern)) = line.split_once(':') else {
+                return Err(format!(
+                    "adr-check.allow:{}: expected `<path>: <line substring>`",
+                    idx + 1
+                ));
+            };
+            let pattern = pattern.trim();
+            if pattern.is_empty() {
+                return Err(format!("adr-check.allow:{}: empty pattern", idx + 1));
+            }
+            entries.push(AllowEntry {
+                path: path.trim().to_string(),
+                pattern: pattern.to_string(),
+                line: idx + 1,
+            });
+        }
+        let hits = entries.iter().map(|_| std::cell::Cell::new(0)).collect();
+        Ok(Allowlist { entries, hits })
+    }
+
+    /// An empty allowlist.
+    pub fn empty() -> Allowlist {
+        Allowlist { entries: Vec::new(), hits: Vec::new() }
+    }
+
+    /// True when a finding in `file` whose source line is `line_text` is
+    /// covered by an entry. Records the hit.
+    pub fn allows(&self, file: &str, line_text: &str) -> bool {
+        let mut allowed = false;
+        for (entry, hit) in self.entries.iter().zip(&self.hits) {
+            if entry.path == file && line_text.contains(&entry.pattern) {
+                hit.set(hit.get() + 1);
+                allowed = true;
+            }
+        }
+        allowed
+    }
+
+    /// Entries that never matched a finding — stale audit records.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries.iter().zip(&self.hits).filter(|(_, h)| h.get() == 0).map(|(e, _)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_matches() {
+        let list = Allowlist::parse(
+            "# comment\ncrates/a/src/x.rs: foo.unwrap()  # audited\n\ncrates/b/src/y.rs: bar(",
+        )
+        .expect("well-formed allowlist");
+        assert!(list.allows("crates/a/src/x.rs", "    foo.unwrap();"));
+        assert!(!list.allows("crates/a/src/x.rs", "    other.unwrap();"));
+        assert!(!list.allows("crates/c/src/z.rs", "    foo.unwrap();"));
+        assert_eq!(list.unused().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("no separator here").is_err());
+        assert!(Allowlist::parse("path.rs:   ").is_err());
+    }
+}

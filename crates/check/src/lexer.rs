@@ -1,0 +1,269 @@
+//! A minimal Rust lexer: blanks out comments and string/char literals while
+//! preserving byte offsets and line structure.
+//!
+//! The analyzer's lints are lexical (token pairing and span containment), so
+//! instead of a full parse the source is first "cleaned": every byte inside
+//! a comment, string literal, char literal, or raw string is replaced with a
+//! space (newlines are kept), leaving code tokens at their original
+//! offsets. Lints then scan the cleaned text and can never be fooled by
+//! `panic!` appearing in a doc comment or an error-message string.
+
+/// Returns `source` with comments and literals blanked to spaces.
+///
+/// Newlines are preserved everywhere (including inside block comments and
+/// raw strings), so `line_of` computations agree between the raw and the
+/// cleaned text.
+pub fn clean_source(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                i = skip_line_comment(bytes, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i = skip_block_comment(bytes, &mut out, i);
+            }
+            b'"' => {
+                i = skip_string(bytes, &mut out, i);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = skip_raw_string(bytes, &mut out, i);
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                out[i] = b'b';
+                i = skip_char_literal(bytes, &mut out, i + 1);
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(bytes, &mut out, i);
+            }
+            _ => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn skip_line_comment(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn skip_block_comment(bytes: &[u8], out: &mut [u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            out[i] = b'\n';
+            i += 1;
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                break;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    // Keep the delimiters so token boundaries survive cleaning.
+    out[start] = b'"';
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'"' => {
+                out[i] = b'"';
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br#"` etc. at position `i`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn skip_raw_string(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the 'r'
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            out[i] = b'\n';
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn skip_char_literal(bytes: &[u8], out: &mut [u8], start: usize) -> usize {
+    out[start] = b'\'';
+    let mut i = start + 1;
+    if i < bytes.len() && bytes[i] == b'\\' {
+        i += 2;
+    } else {
+        // A char may span multiple bytes (UTF-8); advance to the quote.
+        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+            i += 1;
+        }
+    }
+    while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        out[i] = b'\'';
+        i += 1;
+    }
+    i
+}
+
+/// `'` introduces either a char literal or a lifetime; only the former is
+/// blanked.
+fn skip_char_or_lifetime(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let j = i + 1;
+    // Escaped char ('\n', '\'', '\u{..}') is unambiguous.
+    if j < bytes.len() && bytes[j] == b'\\' {
+        return skip_char_literal(bytes, out, i);
+    }
+    // A char literal closes with ' within a few bytes (one scalar, UTF-8);
+    // a lifetime never closes ('a, 'static, followed by , > ( etc.).
+    let mut k = j;
+    let limit = (i + 7).min(bytes.len());
+    while k < limit && bytes[k] != b'\'' && bytes[k] != b'\n' {
+        k += 1;
+    }
+    if k > j && k < bytes.len() && bytes[k] == b'\'' {
+        return skip_char_literal(bytes, out, i);
+    }
+    // Lifetime: copy through untouched.
+    out[i] = b'\'';
+    let mut m = j;
+    while m < bytes.len() && (bytes[m].is_ascii_alphanumeric() || bytes[m] == b'_') {
+        out[m] = bytes[m];
+        m += 1;
+    }
+    m
+}
+
+/// 1-indexed line number of byte `offset` in `text`.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments() {
+        let cleaned = clean_source("let x = 1; // panic!()\nlet y = 2;");
+        assert!(!cleaned.contains("panic"));
+        assert!(cleaned.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn blanks_block_comments_preserving_lines() {
+        let src = "a /* panic!\n still comment */ b";
+        let cleaned = clean_source(src);
+        assert!(!cleaned.contains("panic"));
+        assert_eq!(cleaned.matches('\n').count(), 1);
+        assert!(cleaned.ends_with(" b"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let cleaned = clean_source(r#"foo("unwrap() inside")"#);
+        assert!(!cleaned.contains("unwrap"));
+        assert!(cleaned.starts_with("foo(\""));
+    }
+
+    #[test]
+    fn handles_raw_strings() {
+        let cleaned = clean_source("let s = r#\"panic!\"#; bar()");
+        assert!(!cleaned.contains("panic"));
+        assert!(cleaned.contains("bar()"));
+    }
+
+    #[test]
+    fn keeps_lifetimes() {
+        let cleaned = clean_source("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(cleaned.contains("'a"));
+    }
+
+    #[test]
+    fn blanks_char_literals() {
+        let cleaned = clean_source("let c = 'x'; let d = '\\n'; keep");
+        assert!(!cleaned.contains('x'));
+        assert!(cleaned.contains("keep"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let cleaned = clean_source("/* outer /* inner */ still */ code");
+        assert!(cleaned.trim_start().starts_with("code"));
+    }
+
+    #[test]
+    fn line_of_counts_from_one() {
+        let text = "a\nb\nc";
+        assert_eq!(line_of(text, 0), 1);
+        assert_eq!(line_of(text, 2), 2);
+        assert_eq!(line_of(text, 4), 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! `adr-check` — the workspace static-analysis pass.
+//!
+//! Adaptive Deep Reuse's correctness rests on invariants the type system
+//! cannot see: every im2col GEMM must agree on `(N·H_out·W_out) × (K·K·C)`
+//! shapes across forward and backward (Eqs. 9/17), every multiply–add must
+//! be visible to the FLOP meter for the Eq. 5/6/12/20 cost model to stay
+//! trustworthy, and hot paths must not panic mid-epoch. This crate walks
+//! the workspace source and enforces those invariants mechanically:
+//!
+//! * [`lints::no_panic`] — `unwrap()/expect()/panic!`-family constructs are
+//!   denied in `tensor`, `nn`, `reuse`, and `clustering` library code
+//!   outside `#[cfg(test)]`, with an explicit allowlist (`adr-check.allow`)
+//!   for audited sites.
+//! * [`lints::flop_coverage`] — every `matmul*` call site in `nn` and
+//!   `reuse` must share its function with a FLOP-meter update.
+//! * [`lints::shape_docs`] — public `tensor`/`nn` functions taking matrix
+//!   dimensions must carry a `# Shape` doc section.
+//!
+//! The analyzer is deliberately lexical (comment/literal-blanked token
+//! scanning rather than a `syn` parse): the workspace builds fully offline,
+//! and the enforced properties are lexical pairings. See `DESIGN.md`
+//! ("Invariants & static checks") for the contract.
+
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+
+use std::path::{Path, PathBuf};
+
+use allowlist::Allowlist;
+use lints::{Finding, Lint};
+use scan::FileModel;
+
+/// Crates whose library code must not panic.
+pub const NO_PANIC_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering"];
+/// Crates whose GEMM call sites must be FLOP-metered.
+pub const FLOP_CRATES: &[&str] = &["nn", "reuse"];
+/// Crates whose public dimension-taking functions need `# Shape` docs.
+pub const SHAPE_CRATES: &[&str] = &["tensor", "nn"];
+
+/// Everything one run produced.
+pub struct Report {
+    /// Violations that survived the allowlist, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched nothing (stale audits).
+    pub unused_allow: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean (no findings, no stale allows).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.unused_allow.is_empty()
+    }
+}
+
+/// Runs all lints over the workspace rooted at `root`.
+///
+/// `root` must contain a `crates/` directory laid out like this workspace.
+/// The allowlist is read from `<root>/adr-check.allow` when present.
+///
+/// # Errors
+/// Returns a message when the root is not a workspace or a source file or
+/// the allowlist cannot be read/parsed.
+pub fn run_checks(root: &Path) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!("{} has no crates/ directory — not a workspace root", root.display()));
+    }
+    let allow_path = root.join("adr-check.allow");
+    let allow = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::empty()
+    };
+
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut lint_crates: Vec<(&str, Vec<Lint>)> = Vec::new();
+    for name in NO_PANIC_CRATES.iter().chain(FLOP_CRATES).chain(SHAPE_CRATES) {
+        if !lint_crates.iter().any(|(n, _)| n == name) {
+            let mut lints = Vec::new();
+            if NO_PANIC_CRATES.contains(name) {
+                lints.push(Lint::NoPanic);
+            }
+            if FLOP_CRATES.contains(name) {
+                lints.push(Lint::FlopCoverage);
+            }
+            if SHAPE_CRATES.contains(name) {
+                lints.push(Lint::ShapeDocs);
+            }
+            lint_crates.push((name, lints));
+        }
+    }
+
+    for (crate_name, lints) in &lint_crates {
+        let src = crates_dir.join(crate_name).join("src");
+        if !src.is_dir() {
+            continue; // fixture workspaces may model only some crates
+        }
+        for path in rust_files(&src)? {
+            let rel = rel_path(root, &path);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let model = FileModel::parse(&text);
+            files_scanned += 1;
+            let mut file_findings = Vec::new();
+            for lint in lints {
+                match lint {
+                    Lint::NoPanic => file_findings.extend(lints::no_panic(&rel, &model)),
+                    Lint::FlopCoverage => file_findings.extend(lints::flop_coverage(&rel, &model)),
+                    Lint::ShapeDocs => file_findings.extend(lints::shape_docs(&rel, &model)),
+                }
+            }
+            findings
+                .extend(file_findings.into_iter().filter(|f| !allow.allows(&f.file, &f.line_text)));
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let unused_allow = allow
+        .unused()
+        .into_iter()
+        .map(|e| format!("adr-check.allow:{}: `{}: {}` matched nothing", e.line, e.path, e.pattern))
+        .collect();
+    Ok(Report { findings, unused_allow, files_scanned })
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = std::fs::read_dir(&d).map_err(|e| format!("reading {}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", d.display()))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative path with forward slashes (stable across platforms).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,283 @@
+//! The ADR-specific lints.
+//!
+//! All three lints are lexical: they run on the comment/literal-blanked
+//! source (see [`crate::lexer`]) with function spans and `#[cfg(test)]`
+//! regions from [`crate::scan`]. That is deliberate — the invariants they
+//! enforce (token pairing and doc sections) are lexical properties, and a
+//! zero-dependency scanner keeps the tool runnable in the fully offline
+//! build environment.
+
+use crate::scan::{is_word_at, FileModel};
+
+/// Which lint produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lint {
+    /// Panicking construct in hot-path library code.
+    NoPanic,
+    /// GEMM call site not paired with a FLOP-meter update.
+    FlopCoverage,
+    /// Public dimension-taking function without a `# Shape` doc section.
+    ShapeDocs,
+}
+
+impl Lint {
+    /// Stable lint name used in reports and documentation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "adr::no_panic",
+            Lint::FlopCoverage => "adr::flop_coverage",
+            Lint::ShapeDocs => "adr::shape_docs",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Raw text of the offending line (for allowlist matching).
+    pub line_text: String,
+}
+
+/// Panicking constructs denied in hot-path library code.
+///
+/// `assert!`/`assert_eq!` are *not* denied: shape-contract assertions at
+/// API boundaries are the documented failure mode for caller bugs, and each
+/// is required (via clippy's `missing_panics_doc`) to carry a `# Panics`
+/// doc. What this lint removes from hot paths is the unplanned variety:
+/// `unwrap`/`expect` on `Option`/`Result` and explicit `panic!` family
+/// macros in loops that run mid-epoch.
+const PANIC_TOKENS: &[(&str, &str)] = &[
+    ("unwrap", ".unwrap() in hot-path library code (handle the None/Err case or allowlist the audited site)"),
+    ("expect", ".expect() in hot-path library code (handle the None/Err case or allowlist the audited site)"),
+    ("panic", "panic! in hot-path library code (return an error or allowlist the audited site)"),
+    ("unreachable", "unreachable! in hot-path library code (prove it with types or allowlist the audited site)"),
+    ("todo", "todo! left in library code"),
+    ("unimplemented", "unimplemented! left in library code"),
+];
+
+/// Lint 1: no panicking constructs in library code outside `#[cfg(test)]`.
+pub fn no_panic(file: &str, model: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let cleaned = &model.cleaned;
+    for (token, message) in PANIC_TOKENS {
+        let mut i = 0usize;
+        while let Some(pos) = cleaned[i..].find(token).map(|p| p + i) {
+            i = pos + token.len();
+            if !is_word_at(cleaned, pos, token) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(` are method calls; the macros appear
+            // as `name!`. Anything else (e.g. `unwrap_or`, a local named
+            // `todo`) is fine — is_word_at already rejected those.
+            let rest = cleaned[pos + token.len()..].trim_start();
+            let is_method = *token == "unwrap" || *token == "expect";
+            let matches_use = if is_method {
+                rest.starts_with('(') && cleaned[..pos].trim_end().ends_with('.')
+            } else {
+                rest.starts_with('!')
+            };
+            if !matches_use || model.in_test_code(pos) {
+                continue;
+            }
+            // `debug_assert!`-style and `#[allow]` interplay is handled by
+            // the allowlist file, not inline attributes.
+            let line = model.line_of(pos);
+            findings.push(Finding {
+                lint: Lint::NoPanic,
+                file: file.to_string(),
+                line,
+                message: (*message).to_string(),
+                line_text: model.line_text(line).to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// GEMM entry points whose multiply–adds the cost model must see.
+const GEMM_TOKENS: &[&str] =
+    &["matmul", "matmul_into", "matmul_t_a", "matmul_t_b", "matmul_par", "matmul_range_t_b_par"];
+
+/// Substrings that count as a FLOP-meter update inside a function body.
+const FLOP_RECORD_MARKS: &[&str] = &["add_forward", "add_backward", "flops"];
+
+/// Lint 2: every GEMM call site in `nn`/`reuse` library code must share its
+/// enclosing function with a FLOP-meter update, so the Eq. 5/6/12/20 cost
+/// model cannot silently drift from the computation it claims to describe.
+pub fn flop_coverage(file: &str, model: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let cleaned = &model.cleaned;
+    for token in GEMM_TOKENS {
+        let mut i = 0usize;
+        while let Some(pos) = cleaned[i..].find(token).map(|p| p + i) {
+            i = pos + token.len();
+            if !is_word_at(cleaned, pos, token) {
+                continue;
+            }
+            // Call sites only: `name(`; skip definitions (`fn matmul`),
+            // paths in imports, and doc references.
+            let rest = cleaned[pos + token.len()..].trim_start();
+            if !rest.starts_with('(') {
+                continue;
+            }
+            let before = cleaned[..pos].trim_end();
+            if before.ends_with("fn") {
+                continue;
+            }
+            if model.in_test_code(pos) {
+                continue;
+            }
+            let Some(espan) = model.enclosing_fn(pos) else {
+                continue; // not inside a function (e.g. a const initialiser)
+            };
+            let body = &cleaned[espan.body.clone()];
+            let recorded = FLOP_RECORD_MARKS.iter().any(|mark| body.contains(mark));
+            if recorded {
+                continue;
+            }
+            let line = model.line_of(pos);
+            findings.push(Finding {
+                lint: Lint::FlopCoverage,
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "`{}(...)` in fn `{}` has no FLOP-meter update in the same function \
+                     (record with add_forward/add_backward or a *_flops counter)",
+                    token, espan.name
+                ),
+                line_text: model.line_text(line).to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Lint 3: public functions in `tensor`/`nn` that take matrix dimensions
+/// (two or more `usize` parameters) must document their `# Shape` contract.
+pub fn shape_docs(file: &str, model: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &model.fns {
+        if !f.is_public || model.in_test_code(f.start) {
+            continue;
+        }
+        // `: usize` matches bare dimension parameters but not slice/ref
+        // types like `&[usize]`, which carry data rather than shape.
+        let usize_params = f.params.matches(": usize").count();
+        if usize_params < 2 {
+            continue;
+        }
+        if f.docs.contains("# Shape") {
+            continue;
+        }
+        findings.push(Finding {
+            lint: Lint::ShapeDocs,
+            file: file.to_string(),
+            line: f.line,
+            message: format!(
+                "public fn `{}` takes {} dimension parameters but its docs have no `# Shape` section",
+                f.name, usize_params
+            ),
+            line_text: model.line_text(f.line).to_string(),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::parse(src)
+    }
+
+    #[test]
+    fn no_panic_flags_unwrap_outside_tests() {
+        let m = model("fn f(x: Option<u8>) -> u8 { x.unwrap() }");
+        let found = no_panic("lib.rs", &m);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, Lint::NoPanic);
+    }
+
+    #[test]
+    fn no_panic_ignores_unwrap_or_and_strings() {
+        let m = model(
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\nfn g() -> &'static str { \"don't panic!()\" }",
+        );
+        assert!(no_panic("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn no_panic_ignores_test_code() {
+        let m = model("#[cfg(test)]\nmod tests {\n fn f() { None::<u8>.unwrap(); panic!(); }\n}");
+        assert!(no_panic("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn flop_coverage_flags_unmetered_gemm() {
+        let m = model("fn f(a: &M, b: &M) -> M { a.matmul(b) }");
+        let found = flop_coverage("lib.rs", &m);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("matmul"));
+    }
+
+    #[test]
+    fn flop_coverage_accepts_metered_gemm() {
+        let m = model(
+            "fn f(&mut self, a: &M, b: &M) -> M { let y = a.matmul(b); self.meter.add_forward(1, 1); y }",
+        );
+        assert!(flop_coverage("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn flop_coverage_accepts_flops_counter() {
+        let m = model(
+            "fn f(a: &M, b: &M, stats: &mut S) -> M { stats.gemm_flops += 1; a.matmul_t_a(b) }",
+        );
+        assert!(flop_coverage("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn flop_coverage_skips_definitions() {
+        let m = model("pub fn matmul(a: usize, b: usize) -> usize {\n/// # Shape\n a * b }");
+        assert!(flop_coverage("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn shape_docs_requires_section() {
+        let m = model("pub fn zeros(rows: usize, cols: usize) -> M { M::new(rows, cols) }");
+        let found = shape_docs("lib.rs", &m);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, Lint::ShapeDocs);
+    }
+
+    #[test]
+    fn shape_docs_satisfied_by_section() {
+        let m = model(
+            "/// Zeros.\n///\n/// # Shape\n/// `rows × cols`.\npub fn zeros(rows: usize, cols: usize) -> M { M::new(rows, cols) }",
+        );
+        assert!(shape_docs("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn shape_docs_ignores_private_and_single_usize() {
+        let m = model(
+            "fn zeros(rows: usize, cols: usize) -> M { M::new(rows, cols) }\npub fn row(i: usize) -> usize { i }",
+        );
+        assert!(shape_docs("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn shape_docs_ignores_usize_slices() {
+        let m = model("pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 { 0.0 }");
+        assert!(shape_docs("lib.rs", &m).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p adr-check            # check the current workspace
+//! cargo run -p adr-check -- --root some/workspace
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(value);
+            }
+            "--help" | "-h" => {
+                println!("usage: adr-check [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match adr_check::run_checks(&root) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("error[{}]: {}", finding.lint.name(), finding.message);
+        println!("  --> {}:{}", finding.file, finding.line);
+        println!("   | {}", finding.line_text.trim_end());
+    }
+    for stale in &report.unused_allow {
+        println!("warning[adr::stale_allow]: {stale}");
+    }
+    if report.is_clean() {
+        println!("adr-check: {} files clean", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "adr-check: {} finding(s), {} stale allowlist entr(ies) across {} files",
+            report.findings.len(),
+            report.unused_allow.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,73 @@
+//! Integration tests: the binary must fail on the seeded fixture workspace
+//! and pass on the real workspace it ships in.
+
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
+use std::path::Path;
+use std::process::Command;
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_on(root: &Path) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_adr-check"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("adr-check binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.code().expect("adr-check exits normally"), text)
+}
+
+#[test]
+fn fixture_violations_fail_the_check() {
+    let root = manifest_dir().join("fixtures/violations");
+    let (code, text) = run_on(&root);
+    assert_eq!(code, 1, "seeded violations must exit 1; output:\n{text}");
+    // Every lint fires at least once on the fixture workspace.
+    assert!(text.contains("adr::no_panic"), "missing no_panic finding:\n{text}");
+    assert!(text.contains("adr::flop_coverage"), "missing flop_coverage finding:\n{text}");
+    assert!(text.contains("adr::shape_docs"), "missing shape_docs finding:\n{text}");
+    // The audited/compliant halves of the fixtures stay quiet.
+    assert!(!text.contains("make_matrix_documented"), "documented fn was flagged:\n{text}");
+    assert!(!text.contains("forward_metered"), "metered GEMM was flagged:\n{text}");
+}
+
+#[test]
+fn fixture_findings_are_precise() {
+    let root = manifest_dir().join("fixtures/violations");
+    let report = adr_check::run_checks(&root).expect("fixture root is a workspace");
+    let mut names: Vec<(&str, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.lint.name(), f.file.rsplit_once('/').map_or(f.file.as_str(), |(_, n)| n)))
+        .collect();
+    names.sort_unstable();
+    // tensor: unwrap + missing # Shape; nn: unmetered matmul;
+    // reuse: panic! + expect.
+    assert_eq!(
+        names,
+        vec![
+            ("adr::flop_coverage", "lib.rs"),
+            ("adr::no_panic", "lib.rs"),
+            ("adr::no_panic", "lib.rs"),
+            ("adr::no_panic", "lib.rs"),
+            ("adr::shape_docs", "lib.rs"),
+        ],
+        "unexpected finding set: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn shipped_workspace_is_clean() {
+    let root = manifest_dir().join("../..");
+    let (code, text) = run_on(&root);
+    assert_eq!(code, 0, "the shipped workspace must pass adr-check; output:\n{text}");
+}

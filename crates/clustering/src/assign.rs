@@ -36,6 +36,8 @@ impl ClusterTable {
 
     /// Builds a table from arbitrary (possibly sparse) cluster labels,
     /// re-mapping them to dense ids in first-appearance order.
+    // Cluster ids are u32 by design; row counts stay far below 2^32.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn from_sparse_ids<T: Eq + std::hash::Hash + Copy>(labels: &[T]) -> Self {
         let mut map = std::collections::HashMap::new();
         let mut assignments = Vec::with_capacity(labels.len());
@@ -165,6 +167,9 @@ impl ClusterTable {
 
     /// Gathers (sums) member rows into per-cluster rows:
     /// `out.row(c) = Σ_{i ∈ c} data.row(i)` — the paper's `δy_{c,s}` (Eq. 8).
+    ///
+    /// # Panics
+    /// Panics when `data` has a different row count than this table.
     pub fn gather_sum(&self, data: &Matrix) -> Matrix {
         assert_eq!(data.rows(), self.num_rows(), "gather: row count mismatch");
         let mut out = Matrix::zeros(self.num_clusters(), data.cols());

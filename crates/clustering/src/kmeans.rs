@@ -50,7 +50,10 @@ fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// # Panics
 /// Panics if `data` has no rows or `config.k == 0`.
-#[allow(clippy::needless_range_loop)] // rows index `data`, `d2` and `assignments` in parallel
+#[allow(clippy::needless_range_loop)]
+// rows index `data`, `d2` and `assignments` in parallel
+// Cluster ids are u32 by design; k and row counts stay far below 2^32.
+#[allow(clippy::cast_possible_truncation)]
 pub fn kmeans(data: &Matrix, config: &KMeansConfig, rng: &mut AdrRng) -> KMeansResult {
     let n = data.rows();
     assert!(n > 0, "kmeans on empty data");

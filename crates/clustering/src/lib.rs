@@ -17,6 +17,8 @@
 //! paper's *remaining ratio* `r_c = |C|/N` are derived.
 
 #![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod assign;
 pub mod hasher;

@@ -34,10 +34,7 @@ impl LshTable {
     /// (signatures are packed in a `u64`; the paper's Policy 2 bounds
     /// `H < log2 N`, far below 64 in practice).
     pub fn new(dim: usize, num_hashes: usize, rng: &mut AdrRng) -> Self {
-        assert!(
-            (1..=64).contains(&num_hashes),
-            "num_hashes must be in 1..=64, got {num_hashes}"
-        );
+        assert!((1..=64).contains(&num_hashes), "num_hashes must be in 1..=64, got {num_hashes}");
         assert!(dim > 0, "dim must be positive");
         let mut hyperplanes = Matrix::zeros(num_hashes, dim);
         rng.fill_gauss(hyperplanes.as_mut_slice());
@@ -78,6 +75,9 @@ impl LshTable {
     /// differently for projections that are exactly at the hyperplane, but
     /// Eq. 4 only looks at signs, so agreement holds for any vector not on
     /// a hyperplane (probability 1 for continuous data).
+    ///
+    /// # Panics
+    /// Panics when `data`'s column count differs from the hash dimension.
     pub fn signatures(&self, data: &Matrix) -> Vec<u64> {
         assert_eq!(data.cols(), self.dim(), "signatures: column count mismatch");
         self.signatures_range(data, 0)
@@ -94,9 +94,7 @@ impl LshTable {
         let end = start + self.dim();
         assert!(end <= data.cols(), "signature window out of bounds");
         if n < 64 {
-            return (0..n)
-                .map(|r| self.signature(&data.row(r)[start..end]))
-                .collect();
+            return (0..n).map(|r| self.signature(&data.row(r)[start..end])).collect();
         }
         let proj = matmul_range_t_b_par(data, (start, end), &self.hyperplanes);
         let h = self.num_hashes();
@@ -126,6 +124,9 @@ impl LshTable {
     ///
     /// Returns the dense [`ClusterTable`] plus, for each cluster, the
     /// signature that formed it (needed by the across-batch reuse cache).
+    ///
+    /// # Panics
+    /// Panics when `data`'s column count differs from the hash dimension.
     pub fn cluster(&self, data: &Matrix) -> (ClusterTable, Vec<u64>) {
         assert_eq!(data.cols(), self.dim(), "cluster: column count mismatch");
         self.cluster_range(data, 0)
@@ -147,6 +148,8 @@ impl LshTable {
 /// Groups a signature stream into a dense [`ClusterTable`]: equal
 /// signatures share a cluster, ids assigned in first-appearance order.
 /// Returns the table plus the forming signature of each cluster.
+// Cluster ids are u32 by design; row counts stay far below 2^32.
+#[allow(clippy::cast_possible_truncation)]
 pub fn cluster_from_signatures(sigs: impl Iterator<Item = u64>) -> (ClusterTable, Vec<u64>) {
     let mut map: SignatureMap<u32> = SignatureMap::default();
     let mut assignments = Vec::new();
@@ -170,6 +173,8 @@ pub fn cluster_from_signatures(sigs: impl Iterator<Item = u64>) -> (ClusterTable
 ///
 /// # Panics
 /// Panics (in debug builds) if a signature exceeds `sig_bits`.
+// Cluster ids are u32; the LUT path only runs for signatures under 17 bits.
+#[allow(clippy::cast_possible_truncation)]
 pub fn cluster_from_signatures_with_bits(
     sigs: impl ExactSizeIterator<Item = u64>,
     sig_bits: usize,

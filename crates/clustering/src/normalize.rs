@@ -32,6 +32,9 @@ pub fn normalized(m: &Matrix) -> Matrix {
 ///
 /// Ranges from 0 (same direction) to 2 (opposite direction). Zero vectors
 /// are treated as normalised-zero, giving the other vector's norm (1 or 0).
+///
+/// # Panics
+/// Panics when the two vectors differ in length.
 pub fn angular_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "angular_distance: length mismatch");
     let na = a.iter().map(|v| v * v).sum::<f32>().sqrt();
@@ -49,6 +52,9 @@ pub fn angular_distance(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Cosine similarity `⟨a, b⟩ / (‖a‖·‖b‖)`; zero when either vector is zero.
+///
+/// # Panics
+/// Panics when the two vectors differ in length.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();

@@ -84,6 +84,8 @@ impl ReuseCache {
     ///
     /// # Panics
     /// Panics if `row.len() != out_width`.
+    // Cluster ids are u32 by design; cached row counts stay far below 2^32.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn insert(&mut self, signature: u64, row: &[f32]) {
         assert_eq!(row.len(), self.out_width, "insert: row width mismatch");
         let next = (self.outputs.len() / self.out_width) as u32;

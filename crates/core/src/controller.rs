@@ -85,7 +85,8 @@ impl AdaptiveController {
             plans.push(LayerPlan { layer_index: idx, candidates });
         }
         assert!(!plans.is_empty(), "network contains no ReuseConv2d layers");
-        let max_stage = plans.iter().map(|p| p.candidates.len()).max().unwrap() - 1;
+        let max_stage =
+            plans.iter().map(|p| p.candidates.len()).max().expect("plans is non-empty") - 1;
         let controller = Self {
             plans,
             stage: 0,
@@ -136,10 +137,7 @@ impl AdaptiveController {
 
     /// The `{L, H}` each layer is currently running (clamped stage).
     pub fn current_settings(&self) -> Vec<(usize, (usize, usize))> {
-        self.plans
-            .iter()
-            .map(|p| (p.layer_index, p.candidates.get_clamped(self.stage)))
-            .collect()
+        self.plans.iter().map(|p| (p.layer_index, p.candidates.get_clamped(self.stage))).collect()
     }
 
     /// Runs the Amendment 3.1–3.3 switching procedure on a probe batch.
@@ -186,10 +184,7 @@ impl AdaptiveController {
             .map(|off| (first + off, 1u8))
             // Amendment 3.3 fallback.
             .or_else(|| {
-                probe_acc
-                    .iter()
-                    .position(|&a| a / a_cur >= 1.1)
-                    .map(|off| (first + off, 3u8))
+                probe_acc.iter().position(|&a| a / a_cur >= 1.1).map(|off| (first + off, 3u8))
             })
             // Forced single step: guarantee progress.
             .unwrap_or((first, 0u8));
@@ -255,7 +250,8 @@ mod tests {
 
     fn probe(seed: u64) -> (Tensor4, Vec<usize>) {
         let mut rng = AdrRng::seeded(seed);
-        let images = Tensor4::from_fn(8, 8, 8, 3, |n, _, _, _| (n % 4) as f32 * 0.5 + 0.1 * rng.gauss());
+        let images =
+            Tensor4::from_fn(8, 8, 8, 3, |n, _, _, _| (n % 4) as f32 * 0.5 + 0.1 * rng.gauss());
         let labels = (0..8).map(|n| n % 4).collect();
         (images, labels)
     }

@@ -33,6 +33,8 @@ impl LRange {
         if !first_layer && kernel_w * kernel_w < 10 {
             l_min = kernel_w * kernel_w; // Amendment 1
         }
+        // ceil() of a small positive sqrt; the cast back to usize is exact.
+        #[allow(clippy::cast_possible_truncation)]
         let mut l_max = (in_channels as f64).sqrt().ceil() as usize * kernel_w;
         if l_max < l_min {
             l_max = l_min;
@@ -106,9 +108,7 @@ impl HRange {
         let mut values: Vec<usize> = if steps == 0 {
             vec![h_min]
         } else {
-            (0..=steps)
-                .map(|i| h_min + (i * span) / steps)
-                .collect()
+            (0..=steps).map(|i| h_min + (i * span) / steps).collect()
         };
         values.dedup();
         Self { h_min, h_max, values }

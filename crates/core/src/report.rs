@@ -66,8 +66,7 @@ impl TrainReport {
             "| {} | {} | {} | {:.3} | {:.1}% | {:.2}s |",
             self.strategy,
             self.iterations_run,
-            self.iterations_to_target
-                .map_or_else(|| "-".to_string(), |i| i.to_string()),
+            self.iterations_to_target.map_or_else(|| "-".to_string(), |i| i.to_string()),
             self.final_accuracy,
             self.flop_savings() * 100.0,
             self.wall_time.as_secs_f64(),

@@ -135,6 +135,10 @@ impl Trainer {
     /// The network must already be built to match the strategy (reuse
     /// convolutions for reuse strategies, dense for the baseline); model
     /// builders in `adr-models` handle that.
+    ///
+    /// # Panics
+    /// Panics when an adaptive strategy is used on a network that contains
+    /// no `ReuseConv2d` layers.
     pub fn train(
         &self,
         net: &mut Network,
@@ -169,7 +173,10 @@ impl Trainer {
         // Strategy 3 needs its own plateau detector; Strategy 2's lives in
         // the controller.
         let mut cr_plateau = matches!(strategy.kind, StrategyKind::ClusterReuseSchedule { .. })
-            .then(|| PlateauDetector::new(cfg.plateau_patience, cfg.plateau_min_delta).with_warmup(cfg.plateau_warmup));
+            .then(|| {
+                PlateauDetector::new(cfg.plateau_patience, cfg.plateau_min_delta)
+                    .with_warmup(cfg.plateau_warmup)
+            });
         let mut cr_active = matches!(strategy.kind, StrategyKind::ClusterReuseSchedule { .. });
 
         net.reset_flops();

@@ -43,6 +43,8 @@ impl AugmentConfig {
 /// Applies the configured augmentations to every image of a batch,
 /// returning a new tensor. Labels are untouched (all transforms are
 /// label-preserving).
+// Source coordinates are clamped into [0, dim) before the i64 -> usize casts.
+#[allow(clippy::cast_possible_truncation)]
 pub fn augment_batch(batch: &Tensor4, cfg: &AugmentConfig, rng: &mut AdrRng) -> Tensor4 {
     let cfg = cfg.validated();
     let (n, h, w, c) = batch.shape();

@@ -67,7 +67,7 @@ mod tests {
             smoothing_passes: 1,
             noise_std: 0.01,
             max_shift: 1,
-        image_variability: 0.45,
+            image_variability: 0.45,
         };
         SynthDataset::generate(&cfg, &mut AdrRng::seeded(1))
     }

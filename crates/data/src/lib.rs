@@ -10,6 +10,8 @@
 //! stay correlated (neuron vectors cluster).
 
 #![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod augment;
 pub mod batcher;

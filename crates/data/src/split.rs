@@ -18,12 +18,11 @@ impl Split {
     /// Panics unless `0.0 < val_fraction < 1.0` and both sides end up
     /// non-empty.
     pub fn random(dataset: &SynthDataset, val_fraction: f64, rng: &mut AdrRng) -> Self {
-        assert!(
-            val_fraction > 0.0 && val_fraction < 1.0,
-            "val_fraction must be in (0, 1)"
-        );
+        assert!(val_fraction > 0.0 && val_fraction < 1.0, "val_fraction must be in (0, 1)");
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         rng.shuffle(&mut order);
+        // round() of a non-negative value no larger than the dataset length.
+        #[allow(clippy::cast_possible_truncation)]
         let val_len = ((dataset.len() as f64 * val_fraction).round() as usize)
             .clamp(1, dataset.len().saturating_sub(1));
         let val = order.split_off(dataset.len() - val_len);
@@ -57,7 +56,7 @@ mod tests {
             smoothing_passes: 1,
             noise_std: 0.01,
             max_shift: 0,
-        image_variability: 0.45,
+            image_variability: 0.45,
         };
         SynthDataset::generate(&cfg, &mut AdrRng::seeded(1))
     }
@@ -74,7 +73,8 @@ mod tests {
     fn split_partitions_without_overlap() {
         let d = dataset(50);
         let s = Split::random(&d, 0.3, &mut AdrRng::seeded(3));
-        let mut all: Vec<usize> = s.train_indices().iter().chain(s.val_indices()).copied().collect();
+        let mut all: Vec<usize> =
+            s.train_indices().iter().chain(s.val_indices()).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..50).collect::<Vec<_>>());
     }

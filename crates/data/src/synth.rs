@@ -1,5 +1,8 @@
 //! Per-class smoothed-template image synthesis.
 
+// Pixel coordinates are bounds-checked or clamped before i64 -> usize casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use adr_tensor::rng::AdrRng;
 use adr_tensor::Tensor4;
 
@@ -156,14 +159,8 @@ impl SynthDataset {
     /// Panics on zero-sized dimensions or `num_classes == 0`.
     pub fn generate(cfg: &SynthConfig, rng: &mut AdrRng) -> Self {
         assert!(cfg.num_classes > 0, "need at least one class");
-        assert!(
-            cfg.height > 0 && cfg.width > 0 && cfg.channels > 0,
-            "degenerate image shape"
-        );
-        assert!(
-            (0.0..1.0).contains(&cfg.image_variability),
-            "image_variability must be in [0, 1)"
-        );
+        assert!(cfg.height > 0 && cfg.width > 0 && cfg.channels > 0, "degenerate image shape");
+        assert!((0.0..1.0).contains(&cfg.image_variability), "image_variability must be in [0, 1)");
         let templates: Vec<Vec<f32>> =
             (0..cfg.num_classes).map(|_| make_template(cfg, rng)).collect();
         // Per-image fields use fewer smoothing passes than class templates:
@@ -266,6 +263,9 @@ impl SynthDataset {
 
     /// The `index`-th contiguous batch of `batch_size` images (wrapping at
     /// the end of the dataset).
+    ///
+    /// # Panics
+    /// Panics when `batch_size` is zero.
     pub fn batch(&self, index: usize, batch_size: usize) -> (Tensor4, Vec<usize>) {
         assert!(batch_size > 0, "batch_size must be positive");
         let start = (index * batch_size) % self.len();

@@ -13,6 +13,9 @@ use crate::ConvMode;
 /// Paper-scale geometry: the classic 224×224 AlexNet stack whose `K` runs
 /// 363 (conv1: 3·11·11) to 3456 (conv4/5: 384·3·3) with `M` 64–384,
 /// matching Table II.
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn spec() -> ModelSpec {
     ModelSpec {
         name: "alexnet",
@@ -20,27 +23,32 @@ pub fn spec() -> ModelSpec {
         convs: vec![
             ConvSpec {
                 name: "conv1".into(),
-                geom: ConvGeom::new(224, 224, 3, 11, 11, 4, 0).unwrap(),
+                geom: ConvGeom::new(224, 224, 3, 11, 11, 4, 0)
+                    .expect("model geometry constants are valid"),
                 out_channels: 64,
             },
             ConvSpec {
                 name: "conv2".into(),
-                geom: ConvGeom::new(26, 26, 64, 5, 5, 1, 2).unwrap(),
+                geom: ConvGeom::new(26, 26, 64, 5, 5, 1, 2)
+                    .expect("model geometry constants are valid"),
                 out_channels: 192,
             },
             ConvSpec {
                 name: "conv3".into(),
-                geom: ConvGeom::new(12, 12, 192, 3, 3, 1, 1).unwrap(),
+                geom: ConvGeom::new(12, 12, 192, 3, 3, 1, 1)
+                    .expect("model geometry constants are valid"),
                 out_channels: 384,
             },
             ConvSpec {
                 name: "conv4".into(),
-                geom: ConvGeom::new(12, 12, 384, 3, 3, 1, 1).unwrap(),
+                geom: ConvGeom::new(12, 12, 384, 3, 3, 1, 1)
+                    .expect("model geometry constants are valid"),
                 out_channels: 384,
             },
             ConvSpec {
                 name: "conv5".into(),
-                geom: ConvGeom::new(12, 12, 384, 3, 3, 1, 1).unwrap(),
+                geom: ConvGeom::new(12, 12, 384, 3, 3, 1, 1)
+                    .expect("model geometry constants are valid"),
                 out_channels: 256,
             },
         ],
@@ -48,23 +56,26 @@ pub fn spec() -> ModelSpec {
 }
 
 /// A reduced 64×64 AlexNet keeping the 5-conv depth and the K-growth shape.
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn bench_scale(num_classes: usize, mode: ConvMode, rng: &mut AdrRng) -> Network {
     let mut net = Network::new((64, 64, 3));
-    let g1 = ConvGeom::new(64, 64, 3, 7, 7, 2, 0).unwrap(); // 64 -> 29
+    let g1 = ConvGeom::new(64, 64, 3, 7, 7, 2, 0).expect("model geometry constants are valid"); // 64 -> 29
     net.push(mode.build("conv1", g1, 32, rng));
     net.push(Box::new(Relu::new("relu1")));
     net.push(Box::new(Pool2d::max("pool1", 3, 2))); // 29 -> 14
-    let g2 = ConvGeom::new(14, 14, 32, 5, 5, 1, 2).unwrap();
+    let g2 = ConvGeom::new(14, 14, 32, 5, 5, 1, 2).expect("model geometry constants are valid");
     net.push(mode.build("conv2", g2, 64, rng));
     net.push(Box::new(Relu::new("relu2")));
     net.push(Box::new(Pool2d::max("pool2", 3, 2))); // 14 -> 6
-    let g3 = ConvGeom::new(6, 6, 64, 3, 3, 1, 1).unwrap();
+    let g3 = ConvGeom::new(6, 6, 64, 3, 3, 1, 1).expect("model geometry constants are valid");
     net.push(mode.build("conv3", g3, 96, rng));
     net.push(Box::new(Relu::new("relu3")));
-    let g4 = ConvGeom::new(6, 6, 96, 3, 3, 1, 1).unwrap();
+    let g4 = ConvGeom::new(6, 6, 96, 3, 3, 1, 1).expect("model geometry constants are valid");
     net.push(mode.build("conv4", g4, 96, rng));
     net.push(Box::new(Relu::new("relu4")));
-    let g5 = ConvGeom::new(6, 6, 96, 3, 3, 1, 1).unwrap();
+    let g5 = ConvGeom::new(6, 6, 96, 3, 3, 1, 1).expect("model geometry constants are valid");
     net.push(mode.build("conv5", g5, 64, rng));
     net.push(Box::new(Relu::new("relu5")));
     net.push(Box::new(Pool2d::max("pool5", 3, 2))); // 6 -> 2

@@ -15,6 +15,9 @@ use crate::spec::{ConvSpec, ModelSpec};
 use crate::ConvMode;
 
 /// Paper-scale geometry (for Table II verification).
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn spec() -> ModelSpec {
     ModelSpec {
         name: "cifarnet",
@@ -22,12 +25,14 @@ pub fn spec() -> ModelSpec {
         convs: vec![
             ConvSpec {
                 name: "conv1".into(),
-                geom: ConvGeom::new(32, 32, 3, 5, 5, 1, 2).unwrap(),
+                geom: ConvGeom::new(32, 32, 3, 5, 5, 1, 2)
+                    .expect("model geometry constants are valid"),
                 out_channels: 64,
             },
             ConvSpec {
                 name: "conv2".into(),
-                geom: ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap(),
+                geom: ConvGeom::new(15, 15, 64, 5, 5, 1, 2)
+                    .expect("model geometry constants are valid"),
                 out_channels: 64,
             },
         ],
@@ -36,13 +41,16 @@ pub fn spec() -> ModelSpec {
 
 /// Builds the full 32×32 CifarNet. `num_classes` is 10 for the CIFAR-10
 /// setup of the paper.
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn paper_scale(num_classes: usize, mode: ConvMode, rng: &mut AdrRng) -> Network {
     let mut net = Network::new((32, 32, 3));
-    let g1 = ConvGeom::new(32, 32, 3, 5, 5, 1, 2).unwrap();
+    let g1 = ConvGeom::new(32, 32, 3, 5, 5, 1, 2).expect("model geometry constants are valid");
     net.push(mode.build("conv1", g1, 64, rng));
     net.push(Box::new(Relu::new("relu1")));
     net.push(Box::new(Pool2d::max("pool1", 3, 2))); // 32 -> 15
-    let g2 = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).unwrap();
+    let g2 = ConvGeom::new(15, 15, 64, 5, 5, 1, 2).expect("model geometry constants are valid");
     net.push(mode.build("conv2", g2, 64, rng));
     net.push(Box::new(Relu::new("relu2")));
     net.push(Box::new(Pool2d::max("pool2", 3, 2))); // 15 -> 7
@@ -56,13 +64,16 @@ pub fn paper_scale(num_classes: usize, mode: ConvMode, rng: &mut AdrRng) -> Netw
 
 /// A reduced 16×16 CifarNet for fast harness runs: same two-conv topology
 /// and the paper's 64 filters (so conv2's K = 1600 matches Table II).
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn bench_scale(num_classes: usize, mode: ConvMode, rng: &mut AdrRng) -> Network {
     let mut net = Network::new((16, 16, 3));
-    let g1 = ConvGeom::new(16, 16, 3, 5, 5, 1, 2).unwrap();
+    let g1 = ConvGeom::new(16, 16, 3, 5, 5, 1, 2).expect("model geometry constants are valid");
     net.push(mode.build("conv1", g1, 64, rng));
     net.push(Box::new(Relu::new("relu1")));
     net.push(Box::new(Pool2d::max("pool1", 3, 2))); // 16 -> 7
-    let g2 = ConvGeom::new(7, 7, 64, 5, 5, 1, 2).unwrap();
+    let g2 = ConvGeom::new(7, 7, 64, 5, 5, 1, 2).expect("model geometry constants are valid");
     net.push(mode.build("conv2", g2, 64, rng));
     net.push(Box::new(Relu::new("relu2")));
     net.push(Box::new(Pool2d::max("pool2", 3, 2))); // 7 -> 3

@@ -16,6 +16,8 @@
 //! optimised network.
 
 #![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod alexnet;
 pub mod cifarnet;
@@ -51,9 +53,7 @@ impl ConvMode {
     ) -> Box<dyn Layer> {
         match *self {
             ConvMode::Dense => Box::new(Conv2d::new(name, geom, out_channels, rng)),
-            ConvMode::Reuse(cfg) => {
-                Box::new(ReuseConv2d::new(name, geom, out_channels, cfg, rng))
-            }
+            ConvMode::Reuse(cfg) => Box::new(ReuseConv2d::new(name, geom, out_channels, cfg, rng)),
         }
     }
 

@@ -38,15 +38,25 @@ impl ModelSpec {
     }
 
     /// `(min K, max K)` across conv layers.
+    ///
+    /// # Panics
+    /// Panics when the spec has no conv layers (never for the shipped specs).
     pub fn k_range(&self) -> (usize, usize) {
         let ks: Vec<usize> = self.convs.iter().map(ConvSpec::k).collect();
-        (*ks.iter().min().unwrap(), *ks.iter().max().unwrap())
+        let min = *ks.iter().min().expect("spec has at least one conv layer");
+        let max = *ks.iter().max().expect("spec has at least one conv layer");
+        (min, max)
     }
 
     /// `(min M, max M)` across conv layers.
+    ///
+    /// # Panics
+    /// Panics when the spec has no conv layers (never for the shipped specs).
     pub fn m_range(&self) -> (usize, usize) {
         let ms: Vec<usize> = self.convs.iter().map(|c| c.out_channels).collect();
-        (*ms.iter().min().unwrap(), *ms.iter().max().unwrap())
+        let min = *ms.iter().min().expect("spec has at least one conv layer");
+        let max = *ms.iter().max().expect("spec has at least one conv layer");
+        (min, max)
     }
 }
 

@@ -16,6 +16,9 @@ const BLOCKS: [(usize, usize); 5] = [(2, 64), (2, 128), (4, 256), (4, 512), (4, 
 /// Paper-scale geometry: sixteen 3×3 convolutions in five blocks, input
 /// 224×224. `K` runs 27 (3·3·3) to 4608 (512·3·3); the paper's Table II
 /// prints 4068, an apparent typo for 4608.
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn spec() -> ModelSpec {
     let mut convs = Vec::new();
     let mut size = 224usize;
@@ -24,7 +27,8 @@ pub fn spec() -> ModelSpec {
         for i in 0..count {
             convs.push(ConvSpec {
                 name: format!("conv{}_{}", b + 1, i + 1),
-                geom: ConvGeom::new(size, size, in_c, 3, 3, 1, 1).unwrap(),
+                geom: ConvGeom::new(size, size, in_c, 3, 3, 1, 1)
+                    .expect("model geometry constants are valid"),
                 out_channels: channels,
             });
             in_c = channels;
@@ -36,6 +40,9 @@ pub fn spec() -> ModelSpec {
 
 /// A reduced 32×32 VGG-19 keeping all sixteen convolutions and the
 /// five-block pooling schedule, with channel counts scaled down.
+///
+/// # Panics
+/// Never in practice: the geometry constants are validated at build time.
 pub fn bench_scale(num_classes: usize, mode: ConvMode, rng: &mut AdrRng) -> Network {
     const SMALL_BLOCKS: [(usize, usize); 5] = [(2, 16), (2, 32), (4, 48), (4, 64), (4, 64)];
     let mut net = Network::new((32, 32, 3));
@@ -44,7 +51,8 @@ pub fn bench_scale(num_classes: usize, mode: ConvMode, rng: &mut AdrRng) -> Netw
     for (b, &(count, channels)) in SMALL_BLOCKS.iter().enumerate() {
         for i in 0..count {
             let name = format!("conv{}_{}", b + 1, i + 1);
-            let geom = ConvGeom::new(size, size, in_c, 3, 3, 1, 1).unwrap();
+            let geom = ConvGeom::new(size, size, in_c, 3, 3, 1, 1)
+                .expect("model geometry constants are valid");
             net.push(mode.build(&name, geom, channels, rng));
             net.push(Box::new(Relu::new(format!("relu{}_{}", b + 1, i + 1))));
             in_c = channels;

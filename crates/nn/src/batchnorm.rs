@@ -33,6 +33,9 @@ pub struct BatchNorm {
 impl BatchNorm {
     /// Creates a batch-norm layer over `channels` channels with standard
     /// constants (`ε = 1e-5`, running momentum `0.9`).
+    ///
+    /// # Panics
+    /// Panics when `channels == 0`.
     pub fn new(name: impl Into<String>, channels: usize) -> Self {
         assert!(channels > 0, "channels must be positive");
         Self {
@@ -141,10 +144,8 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let norm = self
-            .cached_norm
-            .take()
-            .expect("backward called without a preceding training forward");
+        let norm =
+            self.cached_norm.take().expect("backward called without a preceding training forward");
         let c = self.channels;
         assert_eq!(grad_out.len(), norm.len(), "batchnorm {}: backward shape mismatch", self.name);
         let count = (norm.len() / c).max(1) as f32;
@@ -180,8 +181,7 @@ impl Layer for BatchNorm {
         for (i, v) in grad_in.as_mut_slice().iter_mut().enumerate() {
             let ch = i % c;
             let dxhat = g[i] * self.gamma[ch];
-            *v = self.cached_inv_std[ch]
-                * (dxhat - mean_dxhat[ch] - xhat[i] * mean_dxhat_xhat[ch]);
+            *v = self.cached_inv_std[ch] * (dxhat - mean_dxhat[ch] - xhat[i] * mean_dxhat_xhat[ch]);
         }
         grad_in
     }

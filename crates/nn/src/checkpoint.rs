@@ -65,8 +65,7 @@ impl Checkpoint {
         // Validate both sections fully before any write, so a mismatch
         // never leaves the network partially restored.
         {
-            let params: Vec<_> =
-                net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
+            let params: Vec<_> = net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
             if params.len() != self.slots.len() {
                 return Err(format!(
                     "checkpoint has {} parameter slots, network has {}",
@@ -104,8 +103,7 @@ impl Checkpoint {
                 }
             }
         }
-        let mut params: Vec<_> =
-            net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
+        let mut params: Vec<_> = net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).collect();
         for (p, saved) in params.iter_mut().zip(&self.slots) {
             p.data.copy_from_slice(saved);
         }
@@ -158,12 +156,14 @@ impl Checkpoint {
         }
         let mut buf8 = [0u8; 8];
         let mut read_section = |r: &mut dyn Read| -> io::Result<Vec<Vec<f32>>> {
+            let too_big =
+                || io::Error::new(io::ErrorKind::InvalidData, "section length overflows usize");
             r.read_exact(&mut buf8)?;
-            let num_slots = u64::from_le_bytes(buf8) as usize;
+            let num_slots = usize::try_from(u64::from_le_bytes(buf8)).map_err(|_| too_big())?;
             let mut slots = Vec::with_capacity(num_slots.min(1 << 20));
             for _ in 0..num_slots {
                 r.read_exact(&mut buf8)?;
-                let len = u64::from_le_bytes(buf8) as usize;
+                let len = usize::try_from(u64::from_le_bytes(buf8)).map_err(|_| too_big())?;
                 let mut bytes = vec![0u8; len * 4];
                 r.read_exact(&mut bytes)?;
                 let slot = bytes
@@ -224,8 +224,8 @@ mod tests {
         let mut a = net(1);
         let snap = Checkpoint::capture(&mut a);
         assert_eq!(snap.num_slots(), 4); // conv w+b, dense w+b
-        // Train a bit; parameters drift. Gaussian input keeps ReLUs alive
-        // and distinct images give a non-degenerate loss gradient.
+                                         // Train a bit; parameters drift. Gaussian input keeps ReLUs alive
+                                         // and distinct images give a non-degenerate loss gradient.
         let mut sgd = Sgd::constant(0.1);
         let mut xrng = AdrRng::seeded(9);
         let x = Tensor4::from_fn(2, 5, 5, 1, |_, _, _, _| xrng.gauss());

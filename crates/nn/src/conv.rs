@@ -36,7 +36,12 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a convolution with He-normal weights and zero bias.
-    pub fn new(name: impl Into<String>, geom: ConvGeom, out_channels: usize, rng: &mut AdrRng) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        geom: ConvGeom,
+        out_channels: usize,
+        rng: &mut AdrRng,
+    ) -> Self {
         let k = geom.k();
         let mut weight = Matrix::zeros(k, out_channels);
         Init::HeNormal.fill(weight.as_mut_slice(), k, out_channels, rng);
@@ -98,16 +103,30 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
+        adr_tensor::checked_finite!(input.as_slice(), "conv {}: forward input", self.name);
         let unfolded = im2col(input, &self.geom);
         let (n, k) = unfolded.shape();
+        adr_tensor::checked_shape!(
+            (n, k),
+            (self.geom.rows_for_batch(input.batch()), self.geom.k()),
+            "conv {}: unfolded input vs geometry",
+            self.name
+        );
         let mut y = matmul_par(&unfolded, &self.weight);
         y.add_row_bias(&self.bias);
+        adr_tensor::checked_finite!(y.as_slice(), "conv {}: forward output", self.name);
         let work = (n * k * self.out_channels) as u64;
         self.meter.add_forward(work, work);
         self.cached_batch = input.batch();
         self.cached_unfolded = (mode == Mode::Train).then_some(unfolded);
-        Tensor4::from_vec(input.batch(), self.geom.out_h(), self.geom.out_w(), self.out_channels, y.into_vec())
-            .expect("output shape arithmetic is consistent")
+        Tensor4::from_vec(
+            input.batch(),
+            self.geom.out_h(),
+            self.geom.out_w(),
+            self.out_channels,
+            y.into_vec(),
+        )
+        .expect("output shape arithmetic is consistent")
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
@@ -116,14 +135,27 @@ impl Layer for Conv2d {
             .take()
             .expect("backward called without a preceding training forward");
         let (n, k) = unfolded.shape();
+        adr_tensor::checked_finite!(grad_out.as_slice(), "conv {}: backward grad_out", self.name);
         let delta_y = Matrix::from_vec(n, self.out_channels, grad_out.as_slice().to_vec())
             .expect("grad_out shape mismatch");
         // ∇W = xᵀ · δy  (Eq. 2)
         self.weight_grad = unfolded.matmul_t_a(&delta_y);
+        adr_tensor::checked_shape!(
+            self.weight_grad.shape(),
+            self.weight.shape(),
+            "conv {}: weight gradient vs weight",
+            self.name
+        );
+        adr_tensor::checked_finite!(
+            self.weight_grad.as_slice(),
+            "conv {}: weight gradient",
+            self.name
+        );
         // ∇b = Σ_rows δy
         self.bias_grad = delta_y.column_sums();
         // δx = δy · Wᵀ, folded back to input space (Eq. 3)
         let delta_x_unf = delta_y.matmul_t_b(&self.weight);
+        adr_tensor::checked_finite!(delta_x_unf.as_slice(), "conv {}: input delta", self.name);
         let work = (2 * n * k * self.out_channels) as u64;
         self.meter.add_backward(work, work);
         col2im(&delta_x_unf, &self.geom, self.cached_batch)

@@ -32,7 +32,16 @@ pub struct Dense {
 
 impl Dense {
     /// Creates a dense layer with He-normal weights and zero bias.
-    pub fn new(name: impl Into<String>, in_features: usize, units: usize, rng: &mut AdrRng) -> Self {
+    ///
+    /// # Shape
+    /// Weight is `in_features × units`; the layer maps `n × in_features`
+    /// activations to `n × units`.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        units: usize,
+        rng: &mut AdrRng,
+    ) -> Self {
         let mut weight = Matrix::zeros(in_features, units);
         Init::HeNormal.fill(weight.as_mut_slice(), in_features, units, rng);
         Self {
@@ -87,31 +96,46 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
         let (n, h, w, c) = input.shape();
         assert_eq!(h * w * c, self.in_features, "dense {}: feature mismatch", self.name);
-        let x = Matrix::from_vec(n, self.in_features, input.as_slice().to_vec()).unwrap();
+        adr_tensor::checked_finite!(input.as_slice(), "dense {}: forward input", self.name);
+        let x = Matrix::from_vec(n, self.in_features, input.as_slice().to_vec())
+            .expect("shape arithmetic is consistent");
         let mut y = matmul_par(&x, &self.weight);
         y.add_row_bias(&self.bias);
+        adr_tensor::checked_finite!(y.as_slice(), "dense {}: forward output", self.name);
         let work = (n * self.in_features * self.units) as u64;
         self.meter.add_forward(work, work);
         self.in_shape = (h, w, c);
         self.cached_input = (mode == Mode::Train).then_some(x);
-        Tensor4::from_vec(n, 1, 1, self.units, y.into_vec()).unwrap()
+        Tensor4::from_vec(n, 1, 1, self.units, y.into_vec())
+            .expect("shape arithmetic is consistent")
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let x = self
-            .cached_input
-            .take()
-            .expect("backward called without a preceding training forward");
+        let x =
+            self.cached_input.take().expect("backward called without a preceding training forward");
         let n = x.rows();
+        adr_tensor::checked_finite!(grad_out.as_slice(), "dense {}: backward grad_out", self.name);
         let delta_y = Matrix::from_vec(n, self.units, grad_out.as_slice().to_vec())
             .expect("grad_out shape mismatch");
         self.weight_grad = x.matmul_t_a(&delta_y);
+        adr_tensor::checked_shape!(
+            self.weight_grad.shape(),
+            self.weight.shape(),
+            "dense {}: weight gradient vs weight",
+            self.name
+        );
+        adr_tensor::checked_finite!(
+            self.weight_grad.as_slice(),
+            "dense {}: weight gradient",
+            self.name
+        );
         self.bias_grad = delta_y.column_sums();
         let delta_x = delta_y.matmul_t_b(&self.weight);
+        adr_tensor::checked_finite!(delta_x.as_slice(), "dense {}: input delta", self.name);
         let work = (2 * n * self.in_features * self.units) as u64;
         self.meter.add_backward(work, work);
         let (h, w, c) = self.in_shape;
-        Tensor4::from_vec(n, h, w, c, delta_x.into_vec()).unwrap()
+        Tensor4::from_vec(n, h, w, c, delta_x.into_vec()).expect("shape arithmetic is consistent")
     }
 
     fn params_mut(&mut self) -> Vec<ParamRefMut<'_>> {
@@ -172,7 +196,8 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         let mut dense = Dense::new("fc", 4, 2, &mut AdrRng::seeded(5));
-        let x = Tensor4::from_vec(2, 1, 1, 4, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, -0.8]).unwrap();
+        let x =
+            Tensor4::from_vec(2, 1, 1, 4, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7, -0.8]).unwrap();
         let y = dense.forward(&x, Mode::Train);
         let ones = Tensor4::from_vec(2, 1, 1, 2, vec![1.0; 4]).unwrap();
         let dx = dense.backward(&ones);

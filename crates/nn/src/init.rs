@@ -16,6 +16,10 @@ pub enum Init {
 
 impl Init {
     /// Fills `out` according to the scheme.
+    ///
+    /// # Shape
+    /// `out` is the flat weight buffer (any layout); `fan_in`/`fan_out` are
+    /// the layer's input/output widths and only set the variance.
     pub fn fill(&self, out: &mut [f32], fan_in: usize, fan_out: usize, rng: &mut AdrRng) {
         match self {
             Init::HeNormal => {

@@ -36,6 +36,9 @@ pub struct ParamRefMut<'a> {
 
 impl ParamRefMut<'_> {
     /// Asserts the three buffers are parallel; called by the optimizer.
+    ///
+    /// # Panics
+    /// Panics when the grad or velocity length disagrees with the data.
     pub fn check(&self) {
         assert_eq!(self.data.len(), self.grad.len(), "grad buffer length mismatch");
         assert_eq!(self.data.len(), self.velocity.len(), "velocity buffer length mismatch");

@@ -21,6 +21,8 @@
 //! the same [`layer::Layer`] trait, so models can swap one for the other.
 
 #![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod batchnorm;
 pub mod checkpoint;
@@ -39,9 +41,9 @@ pub mod relu;
 pub mod sgd;
 pub mod softmax;
 
+pub use checkpoint::Checkpoint;
 pub use flops::{FlopMeter, FlopReport};
 pub use layer::{Layer, Mode, ParamRefMut, Shape3};
-pub use checkpoint::Checkpoint;
 pub use network::Network;
 pub use optimizer::{Adam, Optimizer};
 pub use sgd::{LrSchedule, Sgd};

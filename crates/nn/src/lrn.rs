@@ -87,10 +87,8 @@ impl Layer for Lrn {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let input = self
-            .cached_input
-            .take()
-            .expect("backward called without a preceding training forward");
+        let input =
+            self.cached_input.take().expect("backward called without a preceding training forward");
         let (n, h, w, c) = input.shape();
         assert_eq!(grad_out.shape(), input.shape(), "lrn {}: backward shape mismatch", self.name);
         let a = input.as_slice();
@@ -111,8 +109,9 @@ impl Layer for Lrn {
                         let hi = (m + self.radius).min(c - 1);
                         // i ranges over outputs whose window contains m.
                         let cross: f32 = t[lo..=hi].iter().sum();
-                        grad_in.as_mut_slice()[base + m] =
-                            g[base + m] * s[base + m].powf(-self.beta) - coeff * a[base + m] * cross;
+                        grad_in.as_mut_slice()[base + m] = g[base + m]
+                            * s[base + m].powf(-self.beta)
+                            - coeff * a[base + m] * cross;
                     }
                 }
             }

@@ -12,6 +12,9 @@ pub struct RunningMean {
 impl RunningMean {
     /// Creates a running mean with smoothing factor `alpha ∈ (0, 1]`
     /// (1.0 = no smoothing, track the latest value).
+    ///
+    /// # Panics
+    /// Panics when `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f32) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         Self { value: None, alpha }
@@ -88,7 +91,9 @@ impl PlateauDetector {
     pub fn observe(&mut self, loss: f32) -> bool {
         self.seen += 1;
         self.smoothed.update(loss);
-        let current = self.smoothed.get().expect("just updated");
+        // `update` guarantees a value; fall back to the raw loss anyway so
+        // this path can never panic mid-epoch.
+        let current = self.smoothed.get().unwrap_or(loss);
         let threshold = self.best * (1.0 - self.min_delta);
         if current < threshold {
             self.best = current;
@@ -129,6 +134,10 @@ impl EpochMeter {
     }
 
     /// Records one batch.
+    ///
+    /// # Shape
+    /// `loss` is the mean loss over the batch; `correct ≤ batch_size` are
+    /// example counts, not per-example slices.
     pub fn record(&mut self, loss: f32, correct: usize, batch_size: usize) {
         self.loss_sum += loss as f64;
         self.hits += correct;
@@ -141,7 +150,11 @@ impl EpochMeter {
         if self.batches == 0 {
             0.0
         } else {
-            (self.loss_sum / self.batches as f64) as f32
+            // The f64 accumulator exists for summation precision; rounding
+            // the mean back to f32 is the intended output width.
+            #[allow(clippy::cast_possible_truncation)]
+            let mean = (self.loss_sum / self.batches as f64) as f32;
+            mean
         }
     }
 

@@ -87,11 +87,7 @@ impl Network {
 
     /// Total learnable scalar parameters.
     pub fn param_count(&mut self) -> usize {
-        self.layers
-            .iter_mut()
-            .flat_map(|l| l.params_mut())
-            .map(|p| p.data.len())
-            .sum()
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).map(|p| p.data.len()).sum()
     }
 
     /// Forward pass through every layer.
@@ -129,12 +125,7 @@ impl Network {
         self.backward(&loss_out.grad);
         let mut params: Vec<_> = self.layers.iter_mut().flat_map(|l| l.params_mut()).collect();
         optimizer.step(&mut params);
-        let correct = loss_out
-            .predictions
-            .iter()
-            .zip(labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = loss_out.predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
         StepResult { loss: loss_out.loss, correct, batch_size: labels.len() }
     }
 
@@ -163,16 +154,12 @@ impl Network {
 
     /// Multiply–adds actually performed across all layers.
     pub fn flops(&self) -> FlopReport {
-        self.layers
-            .iter()
-            .fold(FlopReport::default(), |acc, l| acc.merged(&l.flops()))
+        self.layers.iter().fold(FlopReport::default(), |acc, l| acc.merged(&l.flops()))
     }
 
     /// Multiply–adds a fully dense network would have performed.
     pub fn baseline_flops(&self) -> FlopReport {
-        self.layers
-            .iter()
-            .fold(FlopReport::default(), |acc, l| acc.merged(&l.baseline_flops()))
+        self.layers.iter().fold(FlopReport::default(), |acc, l| acc.merged(&l.baseline_flops()))
     }
 
     /// Resets all layer FLOP counters.

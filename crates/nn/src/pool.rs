@@ -28,6 +28,11 @@ pub struct Pool2d {
 impl Pool2d {
     /// Creates a pooling layer.
     ///
+    /// # Shape
+    /// Pools `window × window` patches at stride `stride`, mapping
+    /// `n × h × w × c` to `n × ⌊(h−window)/stride+1⌋ ×
+    /// ⌊(w−window)/stride+1⌋ × c`.
+    ///
     /// # Panics
     /// Panics if `window == 0 || stride == 0`.
     pub fn new(name: impl Into<String>, kind: PoolKind, window: usize, stride: usize) -> Self {
@@ -44,11 +49,17 @@ impl Pool2d {
     }
 
     /// Max pooling constructor shorthand.
+    ///
+    /// # Shape
+    /// As in [`Pool2d::new`]: `window × window` patches at stride `stride`.
     pub fn max(name: impl Into<String>, window: usize, stride: usize) -> Self {
         Self::new(name, PoolKind::Max, window, stride)
     }
 
     /// Average pooling constructor shorthand.
+    ///
+    /// # Shape
+    /// As in [`Pool2d::new`]: `window × window` patches at stride `stride`.
     pub fn avg(name: impl Into<String>, window: usize, stride: usize) -> Self {
         Self::new(name, PoolKind::Avg, window, stride)
     }
@@ -147,7 +158,12 @@ impl Layer for Pool2d {
                                 let g = grad_out.get(b, oy, ox, ch) * inv_area;
                                 for ky in 0..self.window {
                                     for kx in 0..self.window {
-                                        *grad_in.get_mut(b, oy * self.stride + ky, ox * self.stride + kx, ch) += g;
+                                        *grad_in.get_mut(
+                                            b,
+                                            oy * self.stride + ky,
+                                            ox * self.stride + kx,
+                                            ch,
+                                        ) += g;
                                     }
                                 }
                             }
@@ -198,7 +214,8 @@ mod tests {
         // 3x3 input, 2x2 window, stride 1: centre pixel is in all 4 windows.
         let mut pool = Pool2d::max("p", 2, 1);
         // Make centre the max of every window.
-        let x = Tensor4::from_fn(1, 3, 3, 1, |_, y, xx, _| if (y, xx) == (1, 1) { 9.0 } else { 0.0 });
+        let x =
+            Tensor4::from_fn(1, 3, 3, 1, |_, y, xx, _| if (y, xx) == (1, 1) { 9.0 } else { 0.0 });
         pool.forward(&x, Mode::Train);
         let g = Tensor4::from_vec(1, 2, 2, 1, vec![1.0; 4]).unwrap();
         let gx = pool.backward(&g);
@@ -209,7 +226,11 @@ mod tests {
     fn channels_pool_independently() {
         let mut pool = Pool2d::max("p", 2, 2);
         let x = Tensor4::from_fn(1, 2, 2, 2, |_, y, xx, c| {
-            if c == 0 { (y * 2 + xx) as f32 } else { -(y as f32 * 2.0 + xx as f32) }
+            if c == 0 {
+                (y * 2 + xx) as f32
+            } else {
+                -(y as f32 * 2.0 + xx as f32)
+            }
         });
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.get(0, 0, 0, 0), 3.0);

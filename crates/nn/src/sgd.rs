@@ -31,7 +31,10 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant(lr) => lr,
             LrSchedule::StepDecay { base, decay, period } => {
-                base * decay.powi((step / period.max(1)) as i32)
+                // powi takes i32; step/period counts stay far below 2^31.
+                #[allow(clippy::cast_possible_truncation)]
+                let periods = (step / period.max(1)) as i32;
+                base * decay.powi(periods)
             }
             LrSchedule::InverseTime { base, rate } => base / (1.0 + rate * step as f32),
         }

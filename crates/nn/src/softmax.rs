@@ -17,6 +17,9 @@ pub struct LossOutput {
 }
 
 /// Computes row-wise softmax of `(n, 1, 1, classes)` logits.
+///
+/// # Panics
+/// Panics unless the logits are flattened to `(n, 1, 1, classes)`.
 pub fn softmax(logits: &Tensor4) -> Tensor4 {
     let (n, h, w, c) = logits.shape();
     assert_eq!((h, w), (1, 1), "softmax expects flattened (n,1,1,classes) logits");
@@ -53,12 +56,8 @@ pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> LossOutput {
     for (b, &label) in labels.iter().enumerate() {
         assert!(label < c, "label {label} out of range for {c} classes");
         let row = &probs.as_slice()[b * c..(b + 1) * c];
-        let pred = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let pred =
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap_or(0);
         predictions.push(pred);
         loss -= row[label].max(1e-12).ln();
         let grow = &mut grad.as_mut_slice()[b * c..(b + 1) * c];
@@ -71,6 +70,9 @@ pub fn softmax_cross_entropy(logits: &Tensor4, labels: &[usize]) -> LossOutput {
 }
 
 /// Fraction of predictions matching labels.
+///
+/// # Panics
+/// Panics when the two slices differ in length.
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
     assert_eq!(predictions.len(), labels.len(), "predictions/labels length mismatch");
     if predictions.is_empty() {

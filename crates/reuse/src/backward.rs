@@ -52,6 +52,7 @@ pub fn reuse_backward(
     assert_eq!(tables.len(), split.num_sub_vectors(), "one table per sub-matrix required");
     assert_eq!(centroids.len(), tables.len(), "one centroid matrix per sub-matrix required");
 
+    adr_tensor::checked_finite!(delta_y.as_slice(), "reuse backward: delta_y");
     let mut weight_grad = Matrix::zeros(k, m);
     let mut delta_x_unf = Matrix::zeros(n, k);
     let mut flops = 0u64;
@@ -66,16 +67,28 @@ pub fn reuse_backward(
 
         // δy_{c,s}: per-cluster sums of δy rows (Eq. 8).
         let dy_sum = table.gather_sum(delta_y);
+        adr_tensor::checked_shape!(
+            dy_sum.shape(),
+            (num_clusters, m),
+            "reuse backward: sub-matrix {i} gathered delta shape"
+        );
         flops += ((n - num_clusters) * m) as u64;
 
         // ∇W_I = x_{c,I}ᵀ · δy_{c,I,s} (Eq. 10).
         let w_grad_block = cent.matmul_t_a(&dy_sum);
+        adr_tensor::checked_finite_rows!(
+            w_grad_block.as_slice(),
+            m,
+            "reuse backward: sub-matrix {i} weight-gradient block"
+        );
         flops += (num_clusters * width * m) as u64;
         weight_grad.set_row_slice(start, &w_grad_block);
 
         // δy_{c,sa}: per-cluster means (divide the sums by cluster size).
         let mut dy_mean = dy_sum;
         for c in 0..num_clusters {
+            // Cluster ids are u32 by design; num_clusters fits.
+            #[allow(clippy::cast_possible_truncation)]
             let inv = 1.0 / table.count(c as u32) as f32;
             for v in dy_mean.row_mut(c) {
                 *v *= inv;
@@ -85,6 +98,11 @@ pub fn reuse_backward(
         // δx_{c,I} = δy_{c,I,sa} · W_Iᵀ (Eq. 18).
         let w_i = weight.row_slice(start, end);
         let dx_c = dy_mean.matmul_t_b(&w_i);
+        adr_tensor::checked_finite_rows!(
+            dx_c.as_slice(),
+            width,
+            "reuse backward: sub-matrix {i} centroid input-gradients (row = cluster id)"
+        );
         flops += (num_clusters * width * m) as u64;
 
         // Every member inherits its cluster centroid's input gradient.
@@ -95,6 +113,8 @@ pub fn reuse_backward(
     }
 
     let bias_grad = delta_y.column_sums();
+    adr_tensor::checked_finite!(weight_grad.as_slice(), "reuse backward: weight gradient");
+    adr_tensor::checked_finite!(delta_x_unf.as_slice(), "reuse backward: input delta");
     BackwardOutcome { weight_grad, bias_grad, delta_x_unf, flops }
 }
 
@@ -119,11 +139,8 @@ mod tests {
         let w = Matrix::from_fn(k, m, |_, _| rng.gauss() * 0.2);
         let b = vec![0.0; m];
         let split = SubVecSplit::new(k, l);
-        let lsh = split
-            .ranges()
-            .iter()
-            .map(|&(a, bb)| LshTable::new(bb - a, h, &mut rng))
-            .collect();
+        let lsh =
+            split.ranges().iter().map(|&(a, bb)| LshTable::new(bb - a, h, &mut rng)).collect();
         (x, w, b, split, lsh)
     }
 
@@ -181,7 +198,7 @@ mod tests {
         let table = &fwd.tables[0];
         for c in 0..table.num_clusters() {
             let members: Vec<usize> =
-                (0..20).filter(|&r| table.cluster_of(r) == c as u32).collect();
+                (0..20).filter(|&r| table.cluster_of(r) == u32::try_from(c).unwrap()).collect();
             let mut mean = [0.0f32; 8];
             for &r in &members {
                 for (s, v) in mean.iter_mut().zip(dense_dx.row(r)) {

@@ -83,6 +83,8 @@ pub fn reuse_forward(
     if let Some(p) = rows_per_image {
         assert!(p > 0 && n % p == 0, "rows_per_image must evenly divide N");
     }
+    adr_tensor::checked_finite!(x_unf.as_slice(), "reuse forward: unfolded input");
+    adr_tensor::checked_finite!(weight.as_slice(), "reuse forward: weight");
 
     let num_subs = split.num_sub_vectors();
     let mut tables = Vec::with_capacity(num_subs);
@@ -104,22 +106,24 @@ pub fn reuse_forward(
         // LSH output (what the CR cache would key on).
         let h_bits = hasher.num_hashes();
         let (table, sigs) = match rows_per_image {
-            None => cluster_from_signatures_with_bits(
-                (0..n).map(|r| sig_all[r * num_subs + i]),
-                h_bits,
-            ),
+            None => {
+                cluster_from_signatures_with_bits((0..n).map(|r| sig_all[r * num_subs + i]), h_bits)
+            }
             Some(p) => {
                 let img_bits = usize::BITS as usize - (n / p - 1).leading_zeros() as usize;
                 cluster_from_signatures_with_bits(
-                    (0..n).map(|r| {
-                        sig_all[r * num_subs + i] | (((r / p) as u64) << h_bits)
-                    }),
+                    (0..n).map(|r| sig_all[r * num_subs + i] | (((r / p) as u64) << h_bits)),
                     (h_bits + img_bits).min(64),
                 )
             }
         };
         stats.hash_flops += lsh[i].hashing_flops(n);
         let cent = table.centroids_range(x_unf, start, end);
+        adr_tensor::checked_finite_rows!(
+            cent.as_slice(),
+            width,
+            "reuse forward: sub-matrix {i} centroids (row = cluster id)"
+        );
         let w_i = weight.row_slice(start, end);
         let num_clusters = table.num_clusters();
         cluster_total += num_clusters;
@@ -157,6 +161,16 @@ pub fn reuse_forward(
             }
         };
 
+        adr_tensor::checked_shape!(
+            y_c.shape(),
+            (num_clusters, m),
+            "reuse forward: sub-matrix {i} cluster-output shape"
+        );
+        adr_tensor::checked_finite_rows!(
+            y_c.as_slice(),
+            m,
+            "reuse forward: sub-matrix {i} cluster outputs (row = cluster id)"
+        );
         stats.add_flops += (n * m) as u64;
         tables.push(table);
         centroids.push(cent);
@@ -165,6 +179,7 @@ pub fn reuse_forward(
 
     // Row-parallel reconstruction: out[r] = bias + Σ_I y_c^(I)[cluster_I(r)].
     let output = reconstruct(n, m, bias, &tables, &cluster_outputs);
+    adr_tensor::checked_finite!(output.as_slice(), "reuse forward: reconstructed output");
 
     stats.avg_clusters = cluster_total as f64 / num_subs as f64;
     stats.avg_remaining_ratio = stats.avg_clusters / n as f64;
@@ -203,14 +218,14 @@ fn reconstruct(
     }
     let rows_per = n.div_ceil(threads).max(1);
     let out_slice = output.as_mut_slice();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out_slice;
         let mut row0 = 0usize;
         while row0 < n {
             let rows_here = rows_per.min(n - row0);
             let (chunk, tail) = rest.split_at_mut(rows_here * m);
             rest = tail;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for r in 0..rows_here {
                     let dst = &mut chunk[r * m..(r + 1) * m];
                     dst.copy_from_slice(bias);
@@ -224,8 +239,7 @@ fn reconstruct(
             });
             row0 += rows_here;
         }
-    })
-    .expect("reconstruction worker panicked");
+    });
     output
 }
 
@@ -236,11 +250,7 @@ mod tests {
 
     fn lsh_families(split: &SubVecSplit, h: usize, seed: u64) -> Vec<LshTable> {
         let mut rng = AdrRng::seeded(seed);
-        split
-            .ranges()
-            .iter()
-            .map(|&(a, b)| LshTable::new(b - a, h, &mut rng))
-            .collect()
+        split.ranges().iter().map(|&(a, b)| LshTable::new(b - a, h, &mut rng)).collect()
     }
 
     fn random_problem(n: usize, k: usize, m: usize, seed: u64) -> (Matrix, Matrix, Vec<f32>) {
@@ -351,11 +361,7 @@ mod tests {
         // adds: N * M per sub-matrix.
         assert_eq!(out.stats.add_flops, (3 * 20 * 6) as u64);
         // gemm: sum over sub-matrices of |C_I| * L_I * M.
-        let expect: u64 = out
-            .tables
-            .iter()
-            .map(|t| (t.num_clusters() * 4 * 6) as u64)
-            .sum();
+        let expect: u64 = out.tables.iter().map(|t| (t.num_clusters() * 4 * 6) as u64).sum();
         assert_eq!(out.stats.gemm_flops, expect);
     }
 

@@ -85,7 +85,7 @@ impl PackedHasher {
             return out;
         }
         let rows_per = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut rest = out.as_mut_slice();
             let mut row0 = 0usize;
             while row0 < n {
@@ -93,13 +93,12 @@ impl PackedHasher {
                 let (chunk, tail) = rest.split_at_mut(rows_here * subs);
                 rest = tail;
                 let me = &*self;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     me.hash_rows(x, row0, rows_here, chunk);
                 });
                 row0 += rows_here;
             }
-        })
-        .expect("hashing worker panicked");
+        });
         out
     }
 
@@ -148,11 +147,7 @@ mod tests {
 
     fn families(split: &SubVecSplit, h: usize, seed: u64) -> Vec<LshTable> {
         let mut rng = AdrRng::seeded(seed);
-        split
-            .ranges()
-            .iter()
-            .map(|&(a, b)| LshTable::new(b - a, h, &mut rng))
-            .collect()
+        split.ranges().iter().map(|&(a, b)| LshTable::new(b - a, h, &mut rng)).collect()
     }
 
     #[test]
@@ -166,11 +161,7 @@ mod tests {
         for (i, &(a, _)) in split.ranges().iter().enumerate() {
             let expect = lsh[i].signatures_range(&x, a);
             for r in 0..40 {
-                assert_eq!(
-                    all[r * split.num_sub_vectors() + i],
-                    expect[r],
-                    "row {r} sub {i}"
-                );
+                assert_eq!(all[r * split.num_sub_vectors() + i], expect[r], "row {r} sub {i}");
             }
         }
     }
@@ -209,10 +200,7 @@ mod tests {
     fn mixed_h_families_panic() {
         let mut rng = AdrRng::seeded(7);
         let split = SubVecSplit::new(8, 4);
-        let lsh = vec![
-            LshTable::new(4, 6, &mut rng),
-            LshTable::new(4, 8, &mut rng),
-        ];
+        let lsh = vec![LshTable::new(4, 6, &mut rng), LshTable::new(4, 8, &mut rng)];
         PackedHasher::new(&split, &lsh);
     }
 }

@@ -137,9 +137,7 @@ impl ReuseConv2d {
             })
             .collect();
         self.caches = if self.config.cluster_reuse {
-            (0..self.split.num_sub_vectors())
-                .map(|_| ReuseCache::new(self.out_channels))
-                .collect()
+            (0..self.split.num_sub_vectors()).map(|_| ReuseCache::new(self.out_channels)).collect()
         } else {
             Vec::new()
         };
@@ -329,14 +327,13 @@ impl Layer for ReuseConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor4) -> Tensor4 {
-        let cached = self
-            .cached
-            .take()
-            .expect("backward called without a preceding training forward");
+        let cached =
+            self.cached.take().expect("backward called without a preceding training forward");
         let n = self.geom.rows_for_batch(cached.batch);
         let delta_y = Matrix::from_vec(n, self.out_channels, grad_out.as_slice().to_vec())
             .expect("grad_out shape mismatch");
-        let outcome = reuse_backward(&cached.tables, &cached.centroids, &self.split, &self.weight, &delta_y);
+        let outcome =
+            reuse_backward(&cached.tables, &cached.centroids, &self.split, &self.weight, &delta_y);
         let baseline = (2 * n * self.geom.k() * self.out_channels) as u64;
         self.meter.add_backward(outcome.flops, baseline);
         self.weight_grad = outcome.weight_grad;
@@ -462,7 +459,8 @@ mod tests {
         // dense conv gradients.
         let mut rng = AdrRng::seeded(5);
         let dense_proto = Conv2d::new("c", geom(), 4, &mut rng);
-        let mut layer = ReuseConv2d::from_dense(&dense_proto, ReuseConfig::new(18, 45, false), &mut rng);
+        let mut layer =
+            ReuseConv2d::from_dense(&dense_proto, ReuseConfig::new(18, 45, false), &mut rng);
         let mut dense = {
             let mut rng2 = AdrRng::seeded(5);
             Conv2d::new("c", geom(), 4, &mut rng2)
@@ -575,8 +573,7 @@ mod tests {
         layer.backward(&Tensor4::zeros(2, 4, 4, 4));
         let model = layer.modelled_step_cost().expect("stats available");
         assert!(model < 1.0, "modelled cost {model}");
-        let measured =
-            layer.flops().total() as f64 / layer.baseline_flops().total() as f64;
+        let measured = layer.flops().total() as f64 / layer.baseline_flops().total() as f64;
         // The model counts the same terms the meter counts; allow slack for
         // the H/M hashing term granularity.
         assert!((model - measured).abs() < 0.35, "model {model} vs measured {measured}");

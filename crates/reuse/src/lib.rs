@@ -41,6 +41,8 @@
 //! | `CR` | cluster-reuse flag | `ReuseConfig::cluster_reuse` |
 
 #![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod backward;
 pub mod cost;
@@ -88,10 +90,7 @@ impl ReuseConfig {
     /// Panics if `sub_vector_len == 0` or `num_hashes` is outside `1..=64`.
     pub fn new(sub_vector_len: usize, num_hashes: usize, cluster_reuse: bool) -> Self {
         assert!(sub_vector_len > 0, "sub-vector length must be positive");
-        assert!(
-            (1..=64).contains(&num_hashes),
-            "num_hashes must be in 1..=64, got {num_hashes}"
-        );
+        assert!((1..=64).contains(&num_hashes), "num_hashes must be in 1..=64, got {num_hashes}");
         Self { sub_vector_len, num_hashes, cluster_reuse, scope: ClusterScope::SingleBatch }
     }
 

@@ -45,12 +45,7 @@ mod tests {
 
     #[test]
     fn totals_add_up() {
-        let s = ReuseStats {
-            hash_flops: 10,
-            gemm_flops: 20,
-            add_flops: 5,
-            ..Default::default()
-        };
+        let s = ReuseStats { hash_flops: 10, gemm_flops: 20, add_flops: 5, ..Default::default() };
         assert_eq!(s.total_forward_flops(), 35);
         assert!((s.forward_cost_fraction(70) - 0.5).abs() < 1e-12);
     }

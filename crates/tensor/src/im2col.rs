@@ -43,6 +43,11 @@ impl ConvGeom {
     ///
     /// Returns `None` when the kernel (after padding) does not fit in the
     /// input or when `stride == 0`.
+    ///
+    /// # Shape
+    /// Describes inputs of `in_h × in_w × in_c` convolved by `kernel_h ×
+    /// kernel_w` kernels at stride `stride` with symmetric `padding`; the
+    /// unfolded matrix is `(Oh·Ow) × (in_c·kh·kw)` per image.
     pub fn new(
         in_h: usize,
         in_w: usize,
@@ -90,6 +95,10 @@ impl ConvGeom {
     }
 
     /// Column index of kernel element `(channel, ki, kj)`.
+    ///
+    /// # Shape
+    /// `channel < in_c`, `ki < kernel_h`, `kj < kernel_w`; the result is a
+    /// column of the `N × K` unfolded matrix, `K = in_c·kh·kw`.
     #[inline]
     pub fn col_index(&self, channel: usize, ki: usize, kj: usize) -> usize {
         (channel * self.kernel_h + ki) * self.kernel_w + kj
@@ -132,7 +141,7 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeom) -> Matrix {
         }
         return out;
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out_slice;
         let per = nb.div_ceil(threads);
         let mut b0 = 0usize;
@@ -141,15 +150,14 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeom) -> Matrix {
             let (chunk, tail) = rest.split_at_mut(count * per_image_rows * k);
             rest = tail;
             let unfold_image = &unfold_image;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, block) in chunk.chunks_mut(per_image_rows * k).enumerate() {
                     unfold_image(b0 + i, block);
                 }
             });
             b0 += count;
         }
-    })
-    .expect("im2col worker panicked");
+    });
     out
 }
 
@@ -220,7 +228,7 @@ pub fn col2im(cols: &Matrix, geom: &ConvGeom, batch: usize) -> Tensor4 {
         }
         return out;
     }
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out_slice;
         let per = batch.div_ceil(threads);
         let mut b0 = 0usize;
@@ -229,15 +237,14 @@ pub fn col2im(cols: &Matrix, geom: &ConvGeom, batch: usize) -> Tensor4 {
             let (chunk, tail) = rest.split_at_mut(count * per_image_len);
             rest = tail;
             let fold_image = &fold_image;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, image) in chunk.chunks_mut(per_image_len).enumerate() {
                     fold_image(b0 + i, image);
                 }
             });
             b0 += count;
         }
-    })
-    .expect("col2im worker panicked");
+    });
     out
 }
 
@@ -368,20 +375,11 @@ mod tests {
             ((n * 97 + y * 31 + xx * 7 + c * 3) % 13) as f32 - 6.0
         });
         let unf = im2col(&x, &g);
-        let ymat = Matrix::from_fn(unf.rows(), unf.cols(), |r, c| ((r * 5 + c * 11) % 7) as f32 - 3.0);
-        let lhs: f32 = unf
-            .as_slice()
-            .iter()
-            .zip(ymat.as_slice().iter())
-            .map(|(a, b)| a * b)
-            .sum();
+        let ymat =
+            Matrix::from_fn(unf.rows(), unf.cols(), |r, c| ((r * 5 + c * 11) % 7) as f32 - 3.0);
+        let lhs: f32 = unf.as_slice().iter().zip(ymat.as_slice().iter()).map(|(a, b)| a * b).sum();
         let folded = col2im(&ymat, &g, 2);
-        let rhs: f32 = x
-            .as_slice()
-            .iter()
-            .zip(folded.as_slice().iter())
-            .map(|(a, b)| a * b)
-            .sum();
+        let rhs: f32 = x.as_slice().iter().zip(folded.as_slice().iter()).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "lhs={lhs} rhs={rhs}");
     }
 

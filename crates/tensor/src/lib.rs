@@ -13,17 +13,22 @@
 //!   *neuron vectors* (length-`kw` kernel-row segments) contiguous.
 //! * [`rng`] — deterministic, seedable random sources (uniform and Gaussian)
 //!   so that every experiment in the workspace is reproducible.
-//! * [`par`] — crossbeam-scoped row-block parallelism for the GEMM kernel.
+//! * [`par`] — scoped row-block parallelism for the GEMM kernel.
+//! * [`sanitize`] — the feature-gated (`checked`) NaN/Inf sanitizer and
+//!   shape-contract checks threaded through the layer implementations.
 //!
 //! The paper's notation (N, K, M, L, H, ...) is used throughout the
 //! workspace; see the crate-level docs of `adr-reuse` for the mapping.
 
 #![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod im2col;
 pub mod matrix;
 pub mod par;
 pub mod rng;
+pub mod sanitize;
 pub mod tensor4;
 
 pub use im2col::{col2im, im2col, ConvGeom};

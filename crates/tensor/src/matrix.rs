@@ -33,12 +33,18 @@ impl fmt::Debug for Matrix {
 }
 
 impl Matrix {
-    /// Creates a `rows x cols` matrix filled with zeros.
+    /// Creates a matrix filled with zeros.
+    ///
+    /// # Shape
+    /// Output is `rows × cols`, row-major.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
-    /// Creates a `rows x cols` matrix filled with `value`.
+    /// Creates a matrix filled with `value`.
+    ///
+    /// # Shape
+    /// Output is `rows × cols`, row-major.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
         Self { rows, cols, data: vec![value; rows * cols] }
     }
@@ -46,11 +52,17 @@ impl Matrix {
     /// Wraps an existing row-major buffer.
     ///
     /// Returns `None` when `data.len() != rows * cols`.
+    ///
+    /// # Shape
+    /// `data` holds `rows × cols` elements, row-major.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Option<Self> {
         (data.len() == rows * cols).then_some(Self { rows, cols, data })
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every element.
+    ///
+    /// # Shape
+    /// Output is `rows × cols`; `f` is called for `row < rows`, `col < cols`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for r in 0..rows {
@@ -119,6 +131,9 @@ impl Matrix {
     }
 
     /// Copies column `c` into a fresh vector.
+    ///
+    /// # Panics
+    /// Panics when `c >= cols`.
     pub fn col_to_vec(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "col {} out of bounds for {} cols", c, self.cols);
         (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
@@ -129,6 +144,13 @@ impl Matrix {
     ///
     /// This is how the deep-reuse machinery slices the unfolded input matrix
     /// into sub-matrices of sub-vector length `L`.
+    ///
+    /// # Shape
+    /// `self: rows × cols` → output `rows × (end − start)`, requiring
+    /// `start ≤ end ≤ cols`.
+    ///
+    /// # Panics
+    /// Panics when the column range is out of bounds.
     pub fn column_slice(&self, start: usize, end: usize) -> Matrix {
         assert!(
             start <= end && end <= self.cols,
@@ -150,6 +172,13 @@ impl Matrix {
     ///
     /// Used to slice the `K × M` weight matrix into the per-sub-matrix
     /// blocks `W_I` of the deep-reuse computation.
+    ///
+    /// # Shape
+    /// `self: rows × cols` → output `(end − start) × cols`, requiring
+    /// `start ≤ end ≤ rows`.
+    ///
+    /// # Panics
+    /// Panics when the row range is out of bounds.
     pub fn row_slice(&self, start: usize, end: usize) -> Matrix {
         assert!(
             start <= end && end <= self.rows,
@@ -172,8 +201,7 @@ impl Matrix {
     pub fn set_row_slice(&mut self, start: usize, src: &Matrix) {
         assert_eq!(self.cols, src.cols, "set_row_slice: column mismatch");
         assert!(start + src.rows <= self.rows, "set_row_slice: rows out of bounds");
-        self.data[start * self.cols..(start + src.rows) * self.cols]
-            .copy_from_slice(&src.data);
+        self.data[start * self.cols..(start + src.rows) * self.cols].copy_from_slice(&src.data);
     }
 
     /// Returns the transpose as a new matrix.
@@ -215,20 +243,9 @@ impl Matrix {
             "matmul shape mismatch: {}x{} . {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        assert_eq!(
-            (out.rows, out.cols),
-            (self.rows, other.cols),
-            "matmul output shape mismatch"
-        );
+        assert_eq!((out.rows, out.cols), (self.rows, other.cols), "matmul output shape mismatch");
         out.data.fill(0.0);
-        gemm_rows(
-            &self.data,
-            &other.data,
-            &mut out.data,
-            self.rows,
-            self.cols,
-            other.cols,
-        );
+        gemm_rows(&self.data, &other.data, &mut out.data, self.rows, self.cols, other.cols);
     }
 
     /// `selfᵀ · other`, allocating the result.
@@ -301,6 +318,9 @@ impl Matrix {
     }
 
     /// `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
@@ -352,11 +372,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 
@@ -403,6 +419,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Exposed at the slice level so [`crate::par`] can run it over disjoint row
 /// blocks from multiple threads.
+///
+/// # Shape
+/// `a: m × k`, `b: k × n`, `c: m × n`, all row-major slices of exactly that
+/// many elements.
 pub fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -541,6 +561,51 @@ mod tests {
     #[should_panic(expected = "row slice")]
     fn row_slice_out_of_bounds_panics() {
         Matrix::zeros(2, 2).row_slice(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_row_slice: column mismatch")]
+    fn set_row_slice_column_mismatch_panics() {
+        Matrix::zeros(4, 3).set_row_slice(0, &Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_row_slice: rows out of bounds")]
+    fn set_row_slice_overflow_panics() {
+        Matrix::zeros(4, 3).set_row_slice(3, &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn full_range_slices_are_identity() {
+        let a = Matrix::from_fn(4, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.column_slice(0, 5), a);
+        assert_eq!(a.row_slice(0, 4), a);
+    }
+
+    #[test]
+    fn adjacent_column_slices_partition_the_matrix() {
+        // The reuse pipeline splits K into sub-vectors this way; every
+        // element must land in exactly one slice.
+        let a = Matrix::from_fn(3, 7, |r, c| (r * 7 + c) as f32);
+        let splits = [0usize, 3, 5, 7];
+        for w in splits.windows(2) {
+            let s = a.column_slice(w[0], w[1]);
+            for r in 0..3 {
+                assert_eq!(s.row(r), &a.row(r)[w[0]..w[1]]);
+            }
+        }
+    }
+
+    #[test]
+    fn set_row_slice_round_trips_weight_blocks() {
+        // Mirrors how reuse backward scatters per-block W_I gradients back
+        // into the K × M weight-gradient matrix.
+        let full = Matrix::from_fn(6, 4, |r, c| (r * 4 + c) as f32);
+        let mut rebuilt = Matrix::zeros(6, 4);
+        for (start, end) in [(0usize, 2usize), (2, 5), (5, 6)] {
+            rebuilt.set_row_slice(start, &full.row_slice(start, end));
+        }
+        assert_eq!(rebuilt, full);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Crossbeam-scoped row-block parallelism for the GEMM kernel.
+//! Scoped row-block parallelism for the GEMM kernel (std::thread::scope).
 //!
 //! The baseline convolution and the centroid GEMM of the reuse path both
 //! bottom out in [`matmul_par`]. Work is split into contiguous row blocks of
@@ -46,7 +46,7 @@ pub fn matmul_par(a: &Matrix, b: &Matrix) -> Matrix {
     let a_data = a.as_slice();
     let b_data = b.as_slice();
     let out_slice = out.as_mut_slice();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out_slice;
         let mut row0 = 0usize;
         while row0 < m {
@@ -54,13 +54,12 @@ pub fn matmul_par(a: &Matrix, b: &Matrix) -> Matrix {
             let (chunk, tail) = rest.split_at_mut(rows_here * n);
             rest = tail;
             let a_block = &a_data[row0 * k..(row0 + rows_here) * k];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 gemm_rows(a_block, b_data, chunk, rows_here, k, n);
             });
             row0 += rows_here;
         }
-    })
-    .expect("GEMM worker panicked");
+    });
     out
 }
 
@@ -72,13 +71,13 @@ pub fn matmul_par(a: &Matrix, b: &Matrix) -> Matrix {
 /// `col_range` selects the slice of each `a` row to use; `b` must have that
 /// many columns.
 ///
+/// # Shape
+/// `a: m × k` restricted to columns `[start, end)`, `b: n × (end − start)`
+/// → output `m × n` (i.e. `a[:, start..end] · bᵀ`).
+///
 /// # Panics
 /// Panics when the column range is out of bounds or widths disagree.
-pub fn matmul_range_t_b_par(
-    a: &Matrix,
-    col_range: (usize, usize),
-    b: &Matrix,
-) -> Matrix {
+pub fn matmul_range_t_b_par(a: &Matrix, col_range: (usize, usize), b: &Matrix) -> Matrix {
     let (start, end) = col_range;
     assert!(start <= end && end <= a.cols(), "column range out of bounds");
     let width = end - start;
@@ -105,14 +104,14 @@ pub fn matmul_range_t_b_par(
     }
     let rows_per = m.div_ceil(threads).max(1);
     let out_slice = out.as_mut_slice();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out_slice;
         let mut row0 = 0usize;
         while row0 < m {
             let rows_here = rows_per.min(m - row0);
             let (chunk, tail) = rest.split_at_mut(rows_here * n);
             rest = tail;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for r in 0..rows_here {
                     let row = &a_data[(row0 + r) * k + start..(row0 + r) * k + end];
                     let o = &mut chunk[r * n..(r + 1) * n];
@@ -123,8 +122,7 @@ pub fn matmul_range_t_b_par(
             });
             row0 += rows_here;
         }
-    })
-    .expect("tall-skinny GEMM worker panicked");
+    });
     out
 }
 

@@ -2,17 +2,16 @@
 //!
 //! Every stochastic component in the workspace (weight init, dataset
 //! synthesis, LSH hyperplanes, shuffling, dropout) draws from a seeded
-//! [`AdrRng`], so whole experiments replay bit-for-bit. Gaussian samples are
-//! produced with a Box–Muller transform on top of `rand`'s uniform source,
-//! avoiding an extra dependency on `rand_distr`.
+//! [`AdrRng`], so whole experiments replay bit-for-bit. The generator is a
+//! self-contained xoshiro256** seeded through SplitMix64 (the reference
+//! seeding procedure), so the workspace carries no external RNG dependency;
+//! Gaussian samples are produced with a Box–Muller transform on top of the
+//! uniform source.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
-
-/// Workspace-wide RNG newtype around a seeded [`StdRng`].
+/// Workspace-wide deterministic RNG: xoshiro256** with SplitMix64 seeding.
 #[derive(Clone, Debug)]
 pub struct AdrRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second Box–Muller sample.
     spare_gauss: Option<f32>,
 }
@@ -20,7 +19,15 @@ pub struct AdrRng {
 impl AdrRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed), spare_gauss: None }
+        // Expand the seed into four non-degenerate words with SplitMix64,
+        // as recommended by the xoshiro authors.
+        let mut s = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *word = splitmix64(s);
+        }
+        Self { state, spare_gauss: None }
     }
 
     /// Derives an independent child RNG.
@@ -29,14 +36,14 @@ impl AdrRng {
     /// stream_id)`, so components can be given private streams without
     /// coupling their consumption order.
     pub fn split(&mut self, stream_id: u64) -> Self {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         Self::seeded(splitmix64(base ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`, with the full 24 bits of mantissa randomness.
     #[inline]
     pub fn uniform(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -50,18 +57,31 @@ impl AdrRng {
     /// # Panics
     /// Panics if `n == 0`.
     #[inline]
+    // The >> 64 guarantees the product fits back into the usize range.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.inner.gen_range(0..n)
+        // Multiply-shift range reduction (Lemire); the bias is < n / 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
-    /// A raw 64-bit draw.
+    /// A raw 64-bit draw (xoshiro256** output function).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let out = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        out
     }
 
     /// Standard normal sample via Box–Muller.
+    // Box–Muller runs in f64 for precision; rounding back to f32 is the point.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn gauss(&mut self) -> f32 {
         if let Some(z) = self.spare_gauss.take() {
             return z;

@@ -17,16 +17,25 @@ pub struct Tensor4 {
 
 impl Tensor4 {
     /// Creates an all-zero tensor of the given shape.
+    ///
+    /// # Shape
+    /// Output is `n × h × w × c` in NHWC layout.
     pub fn zeros(n: usize, h: usize, w: usize, c: usize) -> Self {
         Self { n, h, w, c, data: vec![0.0; n * h * w * c] }
     }
 
     /// Wraps an existing NHWC buffer; `None` if the length disagrees.
+    ///
+    /// # Shape
+    /// `data` holds `n × h × w × c` elements in NHWC order.
     pub fn from_vec(n: usize, h: usize, w: usize, c: usize, data: Vec<f32>) -> Option<Self> {
         (data.len() == n * h * w * c).then_some(Self { n, h, w, c, data })
     }
 
     /// Builds a tensor by evaluating `f(n, y, x, c)` for every element.
+    ///
+    /// # Shape
+    /// Output is `n × h × w × c`; `f` receives indices below each bound.
     pub fn from_fn(
         n: usize,
         h: usize,
@@ -90,6 +99,10 @@ impl Tensor4 {
     }
 
     /// Flat offset of `(n, y, x, c)`.
+    ///
+    /// # Shape
+    /// Indices must satisfy `n < batch`, `y < height`, `x < width`,
+    /// `c < channels`; the result indexes the flat NHWC buffer.
     #[inline]
     pub fn offset(&self, n: usize, y: usize, x: usize, c: usize) -> usize {
         debug_assert!(n < self.n && y < self.h && x < self.w && c < self.c);
@@ -97,12 +110,20 @@ impl Tensor4 {
     }
 
     /// Element accessor.
+    ///
+    /// # Shape
+    /// Indices as in [`Tensor4::offset`]: `(n, y, x, c)` within the NHWC
+    /// bounds.
     #[inline]
     pub fn get(&self, n: usize, y: usize, x: usize, c: usize) -> f32 {
         self.data[self.offset(n, y, x, c)]
     }
 
     /// Mutable element accessor.
+    ///
+    /// # Shape
+    /// Indices as in [`Tensor4::offset`]: `(n, y, x, c)` within the NHWC
+    /// bounds.
     #[inline]
     pub fn get_mut(&mut self, n: usize, y: usize, x: usize, c: usize) -> &mut f32 {
         let off = self.offset(n, y, x, c);
@@ -128,12 +149,18 @@ impl Tensor4 {
 
     /// Reinterprets the tensor as a `[n, h*w*c]` matrix (no copy of values,
     /// but allocates the `Matrix` wrapper around a clone of the data).
+    ///
+    /// # Panics
+    /// Never in practice: the length always matches the tensor's own dims.
     pub fn to_matrix(&self) -> Matrix {
         Matrix::from_vec(self.n, self.h * self.w * self.c, self.data.clone())
             .expect("shape arithmetic is consistent")
     }
 
     /// Builds an NHWC tensor from a `[n, h*w*c]` matrix.
+    ///
+    /// # Shape
+    /// `m: n × (h·w·c)` → output `n × h × w × c`.
     ///
     /// # Panics
     /// Panics if the matrix shape disagrees with `n*h*w*c`.
@@ -143,6 +170,9 @@ impl Tensor4 {
     }
 
     /// Copies one image (all channels) out of the batch.
+    ///
+    /// # Panics
+    /// Panics when `n >= batch`.
     pub fn image(&self, n: usize) -> Tensor4 {
         assert!(n < self.n, "image index out of bounds");
         let per = self.h * self.w * self.c;

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example adaptive_introspection`
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::controller::AdaptiveController;
 use adaptive_deep_reuse::models::{alexnet, cifarnet, vgg19, ConvMode};
 use adaptive_deep_reuse::prelude::*;
@@ -12,8 +15,7 @@ use adaptive_deep_reuse::reuse::ReuseConv2d;
 
 fn inspect(name: &str, mut net: Network, batch_size: usize) {
     println!("=== {name} (batch {batch_size}) ===");
-    let controller =
-        AdaptiveController::for_network(&mut net, batch_size, 6, 8, 0.01, 20, false);
+    let controller = AdaptiveController::for_network(&mut net, batch_size, 6, 8, 0.01, 20, false);
     for plan in controller.plans() {
         // Pull the layer's geometry for context.
         let layer = &net.layers()[plan.layer_index];
@@ -37,13 +39,7 @@ fn inspect(name: &str, mut net: Network, batch_size: usize) {
         let costs: Vec<String> = settings
             .iter()
             .map(|&(l, h)| {
-                let p = CostParams {
-                    m: reuse.out_channels(),
-                    l,
-                    h,
-                    rc: 0.1,
-                    reuse_rate: 0.0,
-                };
+                let p = CostParams { m: reuse.out_channels(), l, h, rc: 0.1, reuse_rate: 0.0 };
                 format!("{:.2}", training_step_cost(&p, false))
             })
             .collect();
@@ -56,21 +52,9 @@ fn inspect(name: &str, mut net: Network, batch_size: usize) {
 fn main() {
     println!("adaptive controller introspection\n");
     let mut rng = AdrRng::seeded(1);
-    inspect(
-        "cifarnet",
-        cifarnet::bench_scale(10, ConvMode::reuse_default(), &mut rng),
-        16,
-    );
-    inspect(
-        "alexnet",
-        alexnet::bench_scale(10, ConvMode::reuse_default(), &mut rng),
-        8,
-    );
-    inspect(
-        "vgg19",
-        vgg19::bench_scale(10, ConvMode::reuse_default(), &mut rng),
-        8,
-    );
+    inspect("cifarnet", cifarnet::bench_scale(10, ConvMode::reuse_default(), &mut rng), 16);
+    inspect("alexnet", alexnet::bench_scale(10, ConvMode::reuse_default(), &mut rng), 8);
+    inspect("vgg19", vgg19::bench_scale(10, ConvMode::reuse_default(), &mut rng), 8);
     println!("Reading: each layer starts at its most aggressive (cheapest) stage and");
     println!("walks towards precision; Policy 3 ordered the walk so every step is the");
     println!("smallest available increase in expected cost (Eqs. 22/23).");

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example checkpoint_and_resume`
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::trainer::BatchSource;
 use adaptive_deep_reuse::models::ConvMode;
 use adaptive_deep_reuse::nn::batchnorm::BatchNorm;

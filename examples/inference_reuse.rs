@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example inference_reuse`
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::trainer::BatchSource;
 use adaptive_deep_reuse::models::{cifarnet, ConvMode};
 use adaptive_deep_reuse::nn::conv::Conv2d;
@@ -30,7 +33,8 @@ fn main() {
     let dataset = SynthDataset::generate(&cfg, &mut rng);
     let mut source = DatasetSource::new(dataset, 16, 32);
     let mut net = cifarnet::bench_scale(4, ConvMode::Dense, &mut rng);
-    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+    let mut sgd =
+        Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
     for iter in 0..300 {
         let (images, labels) = source.batch(iter % source.num_batches());
         net.train_batch(&images, &labels, &mut sgd);
@@ -58,12 +62,7 @@ fn main() {
             x = net.layers_mut()[i].forward(&x, adaptive_deep_reuse::nn::Mode::Eval);
         }
         let out = adaptive_deep_reuse::nn::softmax::softmax_cross_entropy(&x, &probe_labels);
-        let hits = out
-            .predictions
-            .iter()
-            .zip(&probe_labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let hits = out.predictions.iter().zip(&probe_labels).filter(|(p, l)| p == l).count();
         let acc = hits as f32 / probe_labels.len() as f32;
         let stats = reuse.stats();
         let baseline = (stats.rows * reuse.geom().k() * reuse.out_channels()) as u64;
@@ -83,11 +82,14 @@ fn main() {
             let (images, _) = source.batch(b);
             reuse.forward(&images, adaptive_deep_reuse::nn::Mode::Eval);
         }
+        // Display rounding of a small non-negative mean.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let avg_clusters = reuse.stats().avg_clusters as usize;
         println!(
             "  after round {}: mean reuse rate R = {:.3}, cached clusters per sub-matrix ≈ {}",
             round + 1,
             reuse.mean_reuse_rate(),
-            reuse.stats().avg_clusters as usize
+            avg_clusters
         );
     }
     println!("\nExpected: accuracy approaches the dense value as H grows or L shrinks,");

@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::trainer::{Trainer, TrainerConfig};
 use adaptive_deep_reuse::adaptive::Strategy;
 use adaptive_deep_reuse::models::{cifarnet, ConvMode};
@@ -45,7 +48,8 @@ fn main() {
     let mut baseline_rng = AdrRng::seeded(7);
     let mut baseline_net = cifarnet::bench_scale(4, ConvMode::Dense, &mut baseline_rng);
     let mut source = DatasetSource::new(dataset.clone(), 16, 32);
-    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+    let mut sgd =
+        Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
     let baseline = trainer.train(&mut baseline_net, Strategy::baseline(), &mut source, &mut sgd);
     println!("\n== dense baseline ==\n{}", baseline.summary());
 
@@ -55,7 +59,8 @@ fn main() {
     let mut reuse_rng = AdrRng::seeded(7);
     let mut reuse_net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut reuse_rng);
     let mut source = DatasetSource::new(dataset, 16, 32);
-    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+    let mut sgd =
+        Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
     let adaptive = trainer.train(&mut reuse_net, Strategy::adaptive(), &mut source, &mut sgd);
     println!("\n== adaptive deep reuse (strategy 2) ==\n{}", adaptive.summary());
 

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example similarity_explorer`
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::clustering::kmeans::{kmeans, KMeansConfig};
 use adaptive_deep_reuse::clustering::lsh::LshTable;
 use adaptive_deep_reuse::clustering::normalize::cosine_similarity;

@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example strategy_comparison`
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::trainer::{Trainer, TrainerConfig};
 use adaptive_deep_reuse::adaptive::Strategy;
 use adaptive_deep_reuse::models::{cifarnet, ConvMode};
@@ -29,11 +32,7 @@ fn main() {
             ConvMode::Reuse(ReuseConfig::new(10, 10, false)),
             Strategy::fixed(10, 10),
         ),
-        (
-            "strategy 2: adaptive {L, H}",
-            ConvMode::reuse_default(),
-            Strategy::adaptive(),
-        ),
+        ("strategy 2: adaptive {L, H}", ConvMode::reuse_default(), Strategy::adaptive()),
         (
             "strategy 3: cluster reuse on->off",
             ConvMode::Reuse(ReuseConfig::new(10, 10, true)),
@@ -58,12 +57,13 @@ fn main() {
             smoothing_passes: 3,
             noise_std: 0.05,
             max_shift: 2,
-        image_variability: 0.45,
+            image_variability: 0.45,
         };
         let dataset = SynthDataset::generate(&cfg, &mut rng);
         let mut source = DatasetSource::new(dataset, 16, 32);
         let mut net = cifarnet::bench_scale(4, mode, &mut rng);
-        let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+        let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0)
+            .with_clip_norm(5.0);
         let report = trainer.train(&mut net, strategy, &mut source, &mut sgd);
         let time_s = report.wall_time.as_secs_f64();
         let time_saving = baseline_time.map_or(0.0, |t: f64| 1.0 - time_s / t);

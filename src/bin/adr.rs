@@ -39,9 +39,8 @@ impl Args {
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("option --{key} is missing a value"))?;
+                let value =
+                    it.next().ok_or_else(|| format!("option --{key} is missing a value"))?;
                 options.insert(key.to_string(), value.clone());
             } else {
                 positional.push(arg.clone());
@@ -53,9 +52,7 @@ impl Args {
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("option --{key}: cannot parse '{raw}'")),
+            Some(raw) => raw.parse().map_err(|_| format!("option --{key}: cannot parse '{raw}'")),
         }
     }
 
@@ -64,12 +61,15 @@ impl Args {
     }
 }
 
+/// A freshly built network plus its input shape and default batch size.
+type BuiltModel = (Network, (usize, usize, usize), usize);
+
 fn build_model(
     name: &str,
     classes: usize,
     mode: ConvMode,
     rng: &mut AdrRng,
-) -> Result<(Network, (usize, usize, usize), usize), String> {
+) -> Result<BuiltModel, String> {
     match name {
         "cifarnet" => Ok((cifarnet::bench_scale(classes, mode, rng), (16, 16, 3), 16)),
         "alexnet" => Ok((alexnet::bench_scale(classes, mode, rng), (64, 64, 3), 8)),
@@ -136,8 +136,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         eval_every: 10,
         ..Default::default()
     });
-    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.005 }, 0.9, 0.0)
-        .with_clip_norm(5.0);
+    let mut sgd =
+        Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
     println!("training {model} with {strategy_name} for {iterations} iterations ...");
     let report = trainer.train(&mut net, strategy, &mut source, &mut sgd);
     println!("{}", report.summary());
@@ -152,10 +152,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
-    let path = args
-        .options
-        .get("checkpoint")
-        .ok_or("eval requires --checkpoint PATH")?;
+    let path = args.options.get("checkpoint").ok_or("eval requires --checkpoint PATH")?;
     let model = args.get_str("model", "cifarnet");
     let classes: usize = args.get("classes", 4)?;
     let seed: u64 = args.get("seed", 42)?;
@@ -190,7 +187,7 @@ fn cmd_similarity(args: &Args) -> Result<(), String> {
     };
     let dataset = SynthDataset::generate(&cfg, &mut rng);
     let (images, _) = dataset.batch(0, 8);
-    let geom = ConvGeom::new(24, 24, 3, 5, 5, 1, 0).unwrap();
+    let geom = ConvGeom::new(24, 24, 3, 5, 5, 1, 0).expect("demo geometry constants are valid");
     let unfolded = im2col(&images, &geom);
     let l = l.min(unfolded.cols());
     let lsh = LshTable::new(l, h.clamp(1, 64), &mut rng);
@@ -201,7 +198,10 @@ fn cmd_similarity(args: &Args) -> Result<(), String> {
         table.num_clusters(),
         table.remaining_ratio()
     );
-    println!("=> deep reuse would compute {:.1}% of the centroid GEMM rows", table.remaining_ratio() * 100.0);
+    println!(
+        "=> deep reuse would compute {:.1}% of the centroid GEMM rows",
+        table.remaining_ratio() * 100.0
+    );
     Ok(())
 }
 

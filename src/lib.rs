@@ -28,6 +28,9 @@
 //! assert_eq!(labels.len(), 8);
 //! ```
 
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod source;
 
 pub use adr_clustering as clustering;
@@ -40,13 +43,13 @@ pub use adr_tensor as tensor;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
+    pub use crate::source::{DatasetSource, ShuffledSource};
     pub use adr_clustering::lsh::LshTable;
     pub use adr_core::controller::AdaptiveController;
     pub use adr_core::policy::{HRange, LRange};
     pub use adr_core::strategy::{Strategy, StrategyKind};
     pub use adr_core::trainer::{Trainer, TrainerConfig};
     pub use adr_data::synth::{SynthConfig, SynthDataset};
-    pub use crate::source::{DatasetSource, ShuffledSource};
     pub use adr_models::{alexnet, cifarnet, vgg19};
     pub use adr_nn::{Adam, Checkpoint, Layer, LrSchedule, Mode, Network, Optimizer, Sgd};
     pub use adr_reuse::layer::ReuseConv2d;

@@ -24,10 +24,7 @@ impl DatasetSource {
     /// probe is removed.
     pub fn new(dataset: SynthDataset, batch_size: usize, probe_size: usize) -> Self {
         assert!(probe_size >= 1, "probe must be non-empty");
-        let train_len = dataset
-            .len()
-            .checked_sub(probe_size)
-            .expect("dataset smaller than probe");
+        let train_len = dataset.len().checked_sub(probe_size).expect("dataset smaller than probe");
         assert!(train_len >= batch_size, "not enough images for one training batch");
         let probe_indices: Vec<usize> = (train_len..dataset.len()).collect();
         let probe = dataset.gather(&probe_indices);
@@ -123,10 +120,7 @@ impl ShuffledSource {
         mut rng: AdrRng,
     ) -> Self {
         assert!(probe_size >= 1, "probe must be non-empty");
-        let train_len = dataset
-            .len()
-            .checked_sub(probe_size)
-            .expect("dataset smaller than probe");
+        let train_len = dataset.len().checked_sub(probe_size).expect("dataset smaller than probe");
         assert!(train_len >= batch_size, "not enough images for one training batch");
         let probe_indices: Vec<usize> = (train_len..dataset.len()).collect();
         let probe = dataset.gather(&probe_indices);
@@ -181,12 +175,8 @@ mod shuffled_tests {
         for b in 0..4 {
             let (images, _) = source.batch(b);
             for i in 0..images.batch() {
-                let key: Vec<u32> = images
-                    .image(i)
-                    .as_slice()
-                    .iter()
-                    .map(|v| v.to_bits())
-                    .collect();
+                let key: Vec<u32> =
+                    images.image(i).as_slice().iter().map(|v| v.to_bits()).collect();
                 assert!(seen.insert(key), "image repeated within an epoch");
             }
         }

@@ -1,6 +1,9 @@
 //! Integration tests of the adaptive machinery on real model topologies:
 //! policies → candidate lists → controller → trainer, end to end.
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::controller::AdaptiveController;
 use adaptive_deep_reuse::adaptive::policy::{HRange, LRange};
 use adaptive_deep_reuse::adaptive::trainer::{BatchSource, Trainer, TrainerConfig};

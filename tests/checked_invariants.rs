@@ -1,0 +1,85 @@
+//! End-to-end tests for the `checked` runtime invariant layer.
+//!
+//! Compiled only with `cargo test --features checked`; in default builds
+//! this file is empty and the sanitizer calls in the layers are no-ops.
+#![cfg(feature = "checked")]
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
+use adr_clustering::lsh::LshTable;
+use adr_nn::conv::Conv2d;
+use adr_nn::dense::Dense;
+use adr_nn::layer::{Layer, Mode};
+use adr_reuse::forward::reuse_forward;
+use adr_reuse::subvec::SubVecSplit;
+use adr_tensor::im2col::ConvGeom;
+use adr_tensor::matrix::Matrix;
+use adr_tensor::rng::AdrRng;
+use adr_tensor::Tensor4;
+
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let err = std::panic::catch_unwind(f).expect_err("expected a sanitizer panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn conv_sanitizer_names_the_layer_on_nan_input() {
+    let geom = ConvGeom::new(4, 4, 1, 3, 3, 1, 0).expect("valid geometry");
+    let mut conv = Conv2d::new("conv_bad", geom, 2, &mut AdrRng::seeded(1));
+    let mut x = Tensor4::zeros(1, 4, 4, 1);
+    x.as_mut_slice()[5] = f32::NAN;
+    let msg = panic_message(move || {
+        conv.forward(&x, Mode::Eval);
+    });
+    assert!(
+        msg.contains("conv conv_bad: forward input"),
+        "sanitizer should name the layer and pass: {msg}"
+    );
+    assert!(msg.contains("flat index 5"), "sanitizer should locate the value: {msg}");
+}
+
+#[test]
+fn dense_sanitizer_catches_inf_gradients() {
+    let mut dense = Dense::new("fc_bad", 4, 3, &mut AdrRng::seeded(2));
+    let x = Tensor4::from_vec(2, 1, 1, 4, vec![0.5; 8]).expect("shape matches");
+    dense.forward(&x, Mode::Train);
+    let mut grad = Tensor4::zeros(2, 1, 1, 3);
+    grad.as_mut_slice()[0] = f32::INFINITY;
+    let msg = panic_message(move || {
+        dense.backward(&grad);
+    });
+    assert!(
+        msg.contains("dense fc_bad: backward grad_out"),
+        "sanitizer should name the layer and pass: {msg}"
+    );
+}
+
+#[test]
+fn reuse_sanitizer_reports_cluster_row_for_bad_centroid() {
+    let mut rng = AdrRng::seeded(3);
+    let mut x = Matrix::from_fn(8, 6, |_, _| rng.gauss());
+    x.as_mut_slice()[13] = f32::NAN; // row 2 of the unfolded input
+    let w = Matrix::from_fn(6, 4, |_, _| rng.gauss());
+    let split = SubVecSplit::new(6, 6);
+    let lsh = vec![LshTable::new(6, 8, &mut rng)];
+    let msg = panic_message(move || {
+        reuse_forward(&x, &w, &[0.0; 4], &split, &lsh, None, None);
+    });
+    // The input check fires first and identifies the pass.
+    assert!(msg.contains("reuse forward"), "sanitizer should name the pass: {msg}");
+}
+
+#[test]
+fn clean_training_step_passes_all_checks() {
+    let geom = ConvGeom::new(6, 6, 1, 3, 3, 1, 0).expect("valid geometry");
+    let mut conv = Conv2d::new("conv_ok", geom, 2, &mut AdrRng::seeded(4));
+    let x = Tensor4::from_fn(2, 6, 6, 1, |_, y, xx, _| ((y + xx) % 3) as f32 * 0.1);
+    let y = conv.forward(&x, Mode::Train);
+    let grad = Tensor4::from_vec(2, 4, 4, 2, vec![0.01; 2 * 4 * 4 * 2]).expect("shape matches");
+    let dx = conv.backward(&grad);
+    assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+}

@@ -5,6 +5,9 @@
 //! boundaries (including im2col/col2im folding and shape transitions) is
 //! exercised end to end.
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::nn::conv::Conv2d;
 use adaptive_deep_reuse::nn::dense::Dense;
 use adaptive_deep_reuse::nn::lrn::Lrn;
@@ -104,12 +107,8 @@ fn weight_gradients_of_composed_network() {
     let base = out.loss;
 
     // Collect analytic gradients, then perturb weights one at a time.
-    let analytic: Vec<Vec<f32>> = net
-        .layers_mut()
-        .iter_mut()
-        .flat_map(|l| l.params_mut())
-        .map(|p| p.grad.to_vec())
-        .collect();
+    let analytic: Vec<Vec<f32>> =
+        net.layers_mut().iter_mut().flat_map(|l| l.params_mut()).map(|p| p.grad.to_vec()).collect();
     let eps = 1e-2;
     for (pi, grads) in analytic.iter().enumerate() {
         let stride = (grads.len() / 5).max(1);

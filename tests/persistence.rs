@@ -1,6 +1,9 @@
 //! Checkpoint persistence across model kinds, including reuse layers and
 //! batch-norm running state.
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::trainer::BatchSource;
 use adaptive_deep_reuse::models::{cifarnet, ConvMode};
 use adaptive_deep_reuse::nn::batchnorm::BatchNorm;
@@ -45,8 +48,11 @@ fn reuse_model_checkpoint_round_trips_through_bytes() {
     assert_eq!(loaded, snap);
 
     // A freshly initialised twin gives identical logits after restore.
-    let mut twin =
-        cifarnet::bench_scale(4, ConvMode::Reuse(ReuseConfig::new(10, 10, false)), &mut AdrRng::seeded(77));
+    let mut twin = cifarnet::bench_scale(
+        4,
+        ConvMode::Reuse(ReuseConfig::new(10, 10, false)),
+        &mut AdrRng::seeded(77),
+    );
     loaded.restore(&mut twin).unwrap();
     let (probe, _) = source.probe();
     // Reuse layers hash with layer-private families, so logits are close

@@ -1,5 +1,13 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the workspace.
+//! Property-style tests on the core data structures and invariants of the
+//! workspace.
+//!
+//! The workspace builds offline, so instead of `proptest` these run each
+//! property over a deterministic sweep of seeded random cases drawn from
+//! [`AdrRng`]; failures print the case seed, which fully reproduces the
+//! input.
+
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
 
 use adaptive_deep_reuse::clustering::lsh::{cluster_from_signatures, LshTable};
 use adaptive_deep_reuse::clustering::normalize::angular_distance;
@@ -8,24 +16,29 @@ use adaptive_deep_reuse::reuse::subvec::SubVecSplit;
 use adaptive_deep_reuse::tensor::im2col::{col2im, im2col, ConvGeom};
 use adaptive_deep_reuse::tensor::rng::AdrRng;
 use adaptive_deep_reuse::tensor::{Matrix, Tensor4};
-use proptest::prelude::*;
 
-/// Strategy producing a small matrix with bounded values.
-fn small_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
-    })
+/// Runs `body` over `cases` independent seeded RNG streams.
+fn for_cases(cases: u64, mut body: impl FnMut(u64, &mut AdrRng)) {
+    for case in 0..cases {
+        let mut rng = AdrRng::seeded(0xAD40 + case);
+        body(case, &mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random matrix with dims in `[1, max_rows] × [1, max_cols]` and bounded
+/// values.
+fn small_matrix(rng: &mut AdrRng, max_rows: usize, max_cols: usize) -> Matrix {
+    let r = 1 + rng.below(max_rows);
+    let c = 1 + rng.below(max_cols);
+    Matrix::from_fn(r, c, |_, _| rng.uniform_in(-10.0, 10.0))
+}
 
-    // ---------------- GEMM algebra ----------------
+// ---------------- GEMM algebra ----------------
 
-    #[test]
-    fn matmul_distributes_over_addition(a in small_matrix(6, 5), seed in 0u64..1000) {
-        let mut rng = AdrRng::seeded(seed);
+#[test]
+fn matmul_distributes_over_addition() {
+    for_cases(64, |case, rng| {
+        let a = small_matrix(rng, 6, 5);
         let k = a.cols();
         let b = Matrix::from_fn(k, 4, |_, _| rng.gauss());
         let c = Matrix::from_fn(k, 4, |_, _| rng.gauss());
@@ -34,111 +47,176 @@ proptest! {
         let lhs = a.matmul(&b_plus_c);
         let mut rhs = a.matmul(&b);
         rhs.add_assign(&a.matmul(&c));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
-    }
+        assert!(lhs.max_abs_diff(&rhs) < 1e-2, "case {case}");
+    });
+}
 
-    #[test]
-    fn transposed_products_are_consistent(a in small_matrix(6, 5), seed in 0u64..1000) {
-        let mut rng = AdrRng::seeded(seed);
+#[test]
+fn transposed_products_are_consistent() {
+    for_cases(64, |case, rng| {
+        let a = small_matrix(rng, 6, 5);
         let b = Matrix::from_fn(a.rows(), 3, |_, _| rng.gauss());
         // (aᵀ·b)ᵀ == bᵀ·a
         let lhs = a.matmul_t_a(&b).transpose();
         let rhs = b.matmul_t_a(&a);
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
-    }
+        assert!(lhs.max_abs_diff(&rhs) < 1e-3, "case {case}");
+    });
+}
 
-    // ---------------- im2col / col2im ----------------
+// ---------------- im2col / col2im ----------------
 
-    #[test]
-    fn im2col_col2im_adjoint(
-        h in 3usize..7, w in 3usize..7, c in 1usize..3,
-        kh in 1usize..4, kw in 1usize..4,
-        stride in 1usize..3, padding in 0usize..2,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(ConvGeom::new(h, w, c, kh, kw, stride, padding).is_some());
-        let geom = ConvGeom::new(h, w, c, kh, kw, stride, padding).unwrap();
-        let mut rng = AdrRng::seeded(seed);
+#[test]
+fn im2col_col2im_adjoint() {
+    for_cases(64, |case, rng| {
+        let h = 3 + rng.below(4);
+        let w = 3 + rng.below(4);
+        let c = 1 + rng.below(2);
+        let kh = 1 + rng.below(3);
+        let kw = 1 + rng.below(3);
+        let stride = 1 + rng.below(2);
+        let padding = rng.below(2);
+        let Some(geom) = ConvGeom::new(h, w, c, kh, kw, stride, padding) else {
+            return;
+        };
         let x = Tensor4::from_fn(2, h, w, c, |_, _, _, _| rng.gauss());
         let unf = im2col(&x, &geom);
         let y = Matrix::from_fn(unf.rows(), unf.cols(), |_, _| rng.gauss());
         // <im2col(x), y> == <x, col2im(y)>
-        let lhs: f64 = unf.as_slice().iter().zip(y.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let lhs: f64 =
+            unf.as_slice().iter().zip(y.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         let folded = col2im(&y, &geom, 2);
-        let rhs: f64 = x.as_slice().iter().zip(folded.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "lhs {lhs} rhs {rhs}");
-    }
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(folded.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "case {case}: lhs {lhs} rhs {rhs}");
+    });
+}
 
-    #[test]
-    fn unfolded_row_count_matches_formula(
-        h in 3usize..9, w in 3usize..9, c in 1usize..3, kw in 1usize..4,
-    ) {
-        prop_assume!(h >= kw && w >= kw);
-        let geom = ConvGeom::new(h, w, c, kw, kw, 1, 0).unwrap();
-        // Paper: N = Nb·(Iw − kw + 1)·(Ih − kh + 1) for stride 1.
-        let x = Tensor4::zeros(3, h, w, c);
+#[test]
+fn im2col_col2im_round_trip_reconstructs_input() {
+    // col2im(im2col(x)) multiplies each pixel by the number of patches it
+    // appears in. Dividing by that multiplicity (col2im of the unfolded
+    // all-ones matrix) must reconstruct x exactly; for non-overlapping
+    // geometries the multiplicity is 1 and the round trip is the identity.
+    for_cases(48, |case, rng| {
+        let h = 3 + rng.below(5);
+        let w = 3 + rng.below(5);
+        let c = 1 + rng.below(2);
+        let kh = 1 + rng.below(3);
+        let kw = 1 + rng.below(3);
+        let stride = 1 + rng.below(2);
+        let Some(geom) = ConvGeom::new(h, w, c, kh, kw, stride, 0) else {
+            return;
+        };
+        let x = Tensor4::from_fn(2, h, w, c, |_, _, _, _| rng.gauss());
         let unf = im2col(&x, &geom);
-        prop_assert_eq!(unf.rows(), 3 * (w - kw + 1) * (h - kw + 1));
-        prop_assert_eq!(unf.cols(), c * kw * kw);
-    }
-
-    // ---------------- LSH ----------------
-
-    #[test]
-    fn lsh_signature_is_scale_invariant(
-        dim in 2usize..16, hcount in 1usize..32, scale in 0.01f32..100.0, seed in 0u64..1000,
-    ) {
-        let mut rng = AdrRng::seeded(seed);
-        let table = LshTable::new(dim, hcount, &mut rng);
-        let v: Vec<f32> = (0..dim).map(|_| rng.gauss()).collect();
-        let scaled: Vec<f32> = v.iter().map(|x| x * scale).collect();
-        prop_assert_eq!(table.signature(&v), table.signature(&scaled));
-    }
-
-    #[test]
-    fn lsh_collision_probability_tracks_angle(seed in 0u64..200) {
-        // For sign LSH, P(bit differs) = angle/pi. Verify the empirical bit
-        // difference of a close pair is below that of an orthogonal pair.
-        let mut rng = AdrRng::seeded(seed);
-        let table = LshTable::new(8, 64, &mut rng);
-        let base: Vec<f32> = (0..8).map(|_| rng.gauss()).collect();
-        let near: Vec<f32> = base.iter().map(|x| x * 1.05 + 0.01).collect();
-        prop_assume!(angular_distance(&base, &near) < 0.3);
-        let far: Vec<f32> = base.iter().rev().map(|x| -x).collect();
-        let near_bits = (table.signature(&base) ^ table.signature(&near)).count_ones();
-        let far_bits = (table.signature(&base) ^ table.signature(&far)).count_ones();
-        prop_assert!(near_bits <= far_bits, "near {near_bits} far {far_bits}");
-    }
-
-    // ---------------- Cluster tables ----------------
-
-    #[test]
-    fn cluster_table_partitions_rows(labels in proptest::collection::vec(0u64..20, 1..100)) {
-        let (table, sigs) = cluster_from_signatures(labels.iter().copied());
-        table.validate().unwrap();
-        prop_assert_eq!(table.num_rows(), labels.len());
-        prop_assert_eq!(table.num_clusters(), sigs.len());
-        // Counts sum to N.
-        let total: u32 = table.counts().iter().sum();
-        prop_assert_eq!(total as usize, labels.len());
-        // Equal labels share clusters; distinct labels do not.
-        for i in 0..labels.len() {
-            for j in (i + 1)..labels.len() {
-                prop_assert_eq!(
-                    labels[i] == labels[j],
-                    table.cluster_of(i) == table.cluster_of(j)
+        let folded = col2im(&unf, &geom, 2);
+        let ones = Matrix::filled(unf.rows(), unf.cols(), 1.0);
+        let multiplicity = col2im(&ones, &geom, 2);
+        for (i, ((&orig, &got), &count)) in
+            x.as_slice().iter().zip(folded.as_slice()).zip(multiplicity.as_slice()).enumerate()
+        {
+            if count == 0.0 {
+                // Pixels no patch covers (stride gaps) fold back to zero.
+                assert_eq!(got, 0.0, "case {case}: uncovered pixel {i} not zero");
+            } else {
+                assert!(
+                    (got / count - orig).abs() < 1e-5 * orig.abs().max(1.0),
+                    "case {case}: pixel {i}: {got} / {count} != {orig}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn centroid_scatter_preserves_row_sums(
-        labels in proptest::collection::vec(0u64..5, 2..30),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn unfolded_row_count_matches_formula() {
+    for_cases(64, |_case, rng| {
+        let h = 3 + rng.below(6);
+        let w = 3 + rng.below(6);
+        let c = 1 + rng.below(2);
+        let kw = 1 + rng.below(3);
+        if h < kw || w < kw {
+            return;
+        }
+        let geom = ConvGeom::new(h, w, c, kw, kw, 1, 0).expect("kernel fits");
+        // Paper: N = Nb·(Iw − kw + 1)·(Ih − kh + 1) for stride 1.
+        let x = Tensor4::zeros(3, h, w, c);
+        let unf = im2col(&x, &geom);
+        assert_eq!(unf.rows(), 3 * (w - kw + 1) * (h - kw + 1));
+        assert_eq!(unf.cols(), c * kw * kw);
+    });
+}
+
+// ---------------- LSH ----------------
+
+#[test]
+fn lsh_signature_is_scale_invariant() {
+    for_cases(64, |case, rng| {
+        let dim = 2 + rng.below(14);
+        let hcount = 1 + rng.below(31);
+        let scale = rng.uniform_in(0.01, 100.0);
+        let table = LshTable::new(dim, hcount, rng);
+        let v: Vec<f32> = (0..dim).map(|_| rng.gauss()).collect();
+        let scaled: Vec<f32> = v.iter().map(|x| x * scale).collect();
+        assert_eq!(table.signature(&v), table.signature(&scaled), "case {case}");
+    });
+}
+
+#[test]
+fn lsh_collision_probability_tracks_angle() {
+    for_cases(100, |case, rng| {
+        // For sign LSH, P(bit differs) = angle/pi. Verify the empirical bit
+        // difference of a close pair is below that of an orthogonal pair.
+        let table = LshTable::new(8, 64, rng);
+        let base: Vec<f32> = (0..8).map(|_| rng.gauss()).collect();
+        let near: Vec<f32> = base.iter().map(|x| x * 1.05 + 0.01).collect();
+        if angular_distance(&base, &near) >= 0.3 {
+            return;
+        }
+        let far: Vec<f32> = base.iter().rev().map(|x| -x).collect();
+        let near_bits = (table.signature(&base) ^ table.signature(&near)).count_ones();
+        let far_bits = (table.signature(&base) ^ table.signature(&far)).count_ones();
+        assert!(near_bits <= far_bits, "case {case}: near {near_bits} far {far_bits}");
+    });
+}
+
+// ---------------- Cluster tables ----------------
+
+#[test]
+fn cluster_table_partitions_rows() {
+    for_cases(64, |case, rng| {
+        let len = 1 + rng.below(99);
+        let labels: Vec<u64> = (0..len).map(|_| rng.next_u64() % 20).collect();
+        let (table, sigs) = cluster_from_signatures(labels.iter().copied());
+        table.validate().expect("table must be internally consistent");
+        assert_eq!(table.num_rows(), labels.len());
+        assert_eq!(table.num_clusters(), sigs.len());
+        // Counts sum to N.
+        let total: u32 = table.counts().iter().sum();
+        assert_eq!(total as usize, labels.len());
+        // Equal labels share clusters; distinct labels do not.
+        for i in 0..labels.len() {
+            for j in (i + 1)..labels.len() {
+                assert_eq!(
+                    labels[i] == labels[j],
+                    table.cluster_of(i) == table.cluster_of(j),
+                    "case {case}: rows {i},{j}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn centroid_scatter_preserves_row_sums() {
+    for_cases(64, |case, rng| {
+        let len = 2 + rng.below(28);
+        let labels: Vec<u64> = (0..len).map(|_| rng.next_u64() % 5).collect();
         let (table, _) = cluster_from_signatures(labels.iter().copied());
-        let mut rng = AdrRng::seeded(seed);
         let data = Matrix::from_fn(labels.len(), 4, |_, _| rng.gauss());
         // Total mass per cluster is invariant under gather_mean + scatter.
         let mean = table.gather_mean(&data);
@@ -146,52 +224,71 @@ proptest! {
         table.scatter_add(&mean, &mut back);
         let orig = table.gather_sum(&data);
         let reconstructed = table.gather_sum(&back);
-        prop_assert!(orig.max_abs_diff(&reconstructed) < 1e-3);
-    }
+        assert!(orig.max_abs_diff(&reconstructed) < 1e-3, "case {case}");
+    });
+}
 
-    // ---------------- Sub-vector splits ----------------
+// ---------------- Sub-vector splits ----------------
 
-    #[test]
-    fn subvec_split_partitions_k(k in 1usize..2000, l in 1usize..2000) {
+#[test]
+fn subvec_split_partitions_k() {
+    for_cases(200, |case, rng| {
+        let k = 1 + rng.below(1999);
+        let l = 1 + rng.below(1999);
         let split = SubVecSplit::new(k, l);
         let mut pos = 0usize;
         for &(a, b) in split.ranges() {
-            prop_assert_eq!(a, pos);
-            prop_assert!(b > a);
-            prop_assert!(b - a <= split.l());
+            assert_eq!(a, pos, "case {case}");
+            assert!(b > a, "case {case}");
+            assert!(b - a <= split.l(), "case {case}");
             pos = b;
         }
-        prop_assert_eq!(pos, k);
-        prop_assert_eq!(split.num_sub_vectors(), k.div_ceil(split.l()));
-    }
+        assert_eq!(pos, k, "case {case}");
+        assert_eq!(split.num_sub_vectors(), k.div_ceil(split.l()), "case {case}");
+    });
+}
 
-    // ---------------- Cost model ----------------
+// ---------------- Cost model ----------------
 
-    #[test]
-    fn forward_cost_is_monotone_in_each_knob(
-        m in 8usize..512, l in 1usize..256, hcount in 1usize..64, rc in 0.0f64..1.0,
-    ) {
+#[test]
+fn forward_cost_is_monotone_in_each_knob() {
+    for_cases(128, |case, rng| {
+        let m = 8 + rng.below(504);
+        let l = 1 + rng.below(255);
+        let hcount = 1 + rng.below(63);
+        let rc = rng.uniform() as f64;
         let p = CostParams { m, l, h: hcount, rc, reuse_rate: 0.0 };
         let base = forward_cost(&p);
         // More hashes cost more.
         let more_h = CostParams { h: hcount + 1, ..p };
-        prop_assert!(forward_cost(&more_h) > base);
+        assert!(forward_cost(&more_h) > base, "case {case}");
         // Higher remaining ratio costs more.
         let more_rc = CostParams { rc: (rc + 0.1).min(1.0), ..p };
-        prop_assert!(forward_cost(&more_rc) >= base);
+        assert!(forward_cost(&more_rc) >= base, "case {case}");
         // Longer sub-vectors cost less in adds.
         let more_l = CostParams { l: l + 1, ..p };
-        prop_assert!(forward_cost(&more_l) < base);
-    }
+        assert!(forward_cost(&more_l) < base, "case {case}");
+    });
+}
 
-    #[test]
-    fn delta_formulas_match_cost_differences(
-        m in 8usize..512, l1 in 1usize..256, l2 in 1usize..256, h1 in 1usize..64, h2 in 1usize..64,
-    ) {
+#[test]
+fn delta_formulas_match_cost_differences() {
+    for_cases(128, |case, rng| {
+        let m = 8 + rng.below(504);
+        let l1 = 1 + rng.below(255);
+        let l2 = 1 + rng.below(255);
+        let h1 = 1 + rng.below(63);
+        let h2 = 1 + rng.below(63);
         let p1 = CostParams { m, l: l1, h: h1, rc: 0.3, reuse_rate: 0.0 };
         let p_l = CostParams { l: l2, ..p1 };
         let p_h = CostParams { h: h2, ..p1 };
-        prop_assert!((delta_e_l(l1, l2) - (forward_cost(&p_l) - forward_cost(&p1))).abs() < 1e-9);
-        prop_assert!((delta_e_h(h1, h2, m) - (forward_cost(&p_h) - forward_cost(&p1))).abs() < 1e-9);
-    }
+        assert!(
+            (delta_e_l(l1, l2) - (forward_cost(&p_l) - forward_cost(&p1))).abs() < 1e-9,
+            "case {case}"
+        );
+        assert!(
+            (delta_e_h(h1, h2, m) - (forward_cost(&p_h) - forward_cost(&p1))).abs() < 1e-9,
+            "case {case}"
+        );
+    });
 }

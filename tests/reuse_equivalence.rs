@@ -2,6 +2,9 @@
 //! degenerate to the exact dense convolution when clustering is lossless,
 //! in both directions of propagation.
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::nn::conv::Conv2d;
 use adaptive_deep_reuse::nn::{Layer, Mode};
 use adaptive_deep_reuse::reuse::{ReuseConfig, ReuseConv2d};
@@ -15,11 +18,7 @@ fn gaussian_input(n: usize, h: usize, w: usize, c: usize, seed: u64) -> Tensor4 
 }
 
 fn max_diff(a: &Tensor4, b: &Tensor4) -> f32 {
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f32::max)
+    a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
 }
 
 /// Builds a dense conv and a weight-sharing reuse twin.
@@ -51,10 +50,18 @@ fn forward_agrees_on_gaussian_input_with_many_hashes() {
 fn forward_agrees_with_sub_vector_partition() {
     // L < K exercises the partial-sum reconstruction (Fig. 3).
     let geom = ConvGeom::new(8, 8, 4, 3, 3, 1, 0).unwrap();
-    let (mut dense, mut reuse) = twins(geom, 6, 9, 40, 3);
-    let x = gaussian_input(2, 8, 8, 4, 4);
+    let (mut dense, mut reuse) = twins(geom, 6, 9, 40, 5);
+    let x = gaussian_input(2, 8, 8, 4, 6);
     let yd = dense.forward(&x, Mode::Eval);
     let yr = reuse.forward(&x, Mode::Eval);
+    // Equivalence only holds when every sub-vector cluster is a singleton;
+    // 40 hyperplanes on 9-dim gaussian sub-vectors make that overwhelmingly
+    // likely but not certain, so pin the precondition before comparing.
+    assert!(
+        reuse.stats().avg_remaining_ratio > 0.999,
+        "precondition: singleton clusters, rc = {}",
+        reuse.stats().avg_remaining_ratio
+    );
     assert!(max_diff(&yd, &yr) < 1e-2, "forward diff {}", max_diff(&yd, &yr));
 }
 
@@ -74,11 +81,7 @@ fn backward_agrees_when_clusters_are_singletons() {
     // Weight and bias gradients agree too.
     let wd: Vec<f32> = dense.params_mut()[0].grad.to_vec();
     let wr: Vec<f32> = reuse.params_mut()[0].grad.to_vec();
-    let wdiff = wd
-        .iter()
-        .zip(&wr)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let wdiff = wd.iter().zip(&wr).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(wdiff < 1e-2, "weight-grad diff {wdiff}");
 }
 
@@ -93,17 +96,17 @@ fn reuse_error_is_monotone_in_hash_count() {
     let mut dense = Conv2d::new("d", geom, 8, &mut AdrRng::seeded(9));
     let yd = dense.forward(&x, Mode::Eval);
     let err_at = |h: usize| {
-        let mut reuse =
-            ReuseConv2d::from_dense(&dense, ReuseConfig::new(18, h, false), &mut AdrRng::seeded(10));
+        let mut reuse = ReuseConv2d::from_dense(
+            &dense,
+            ReuseConfig::new(18, h, false),
+            &mut AdrRng::seeded(10),
+        );
         let yr = reuse.forward(&x, Mode::Eval);
         max_diff(&yd, &yr)
     };
     let coarse = err_at(3);
     let fine = err_at(30);
-    assert!(
-        fine <= coarse,
-        "error should not grow with more hashes: H=3 {coarse} vs H=30 {fine}"
-    );
+    assert!(fine <= coarse, "error should not grow with more hashes: H=3 {coarse} vs H=30 {fine}");
 }
 
 #[test]

@@ -2,6 +2,9 @@
 //! learn separable synthetic tasks, and the FLOP accounting must hold up
 //! over whole runs.
 
+// Test/example code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
 use adaptive_deep_reuse::adaptive::trainer::BatchSource;
 use adaptive_deep_reuse::models::{alexnet, cifarnet, ConvMode};
 use adaptive_deep_reuse::nn::{LrSchedule, Sgd};
@@ -24,14 +27,9 @@ fn dataset(seed: u64, hw: usize, n: usize) -> SynthDataset {
     SynthDataset::generate(&cfg, &mut AdrRng::seeded(seed))
 }
 
-fn train(
-    net: &mut Network,
-    source: &mut DatasetSource,
-    iterations: usize,
-    lr: f32,
-) -> (f32, f32) {
-    let mut sgd = Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.002 }, 0.9, 0.0)
-        .with_clip_norm(5.0);
+fn train(net: &mut Network, source: &mut DatasetSource, iterations: usize, lr: f32) -> (f32, f32) {
+    let mut sgd =
+        Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.002 }, 0.9, 0.0).with_clip_norm(5.0);
     let mut last_loss = f32::INFINITY;
     for it in 0..iterations {
         let (x, y) = source.batch(it % source.num_batches());
