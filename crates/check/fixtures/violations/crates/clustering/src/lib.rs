@@ -1,0 +1,49 @@
+//! Fixture: seeded `adr::determinism` and `adr::float_eq` violations.
+//! Not compiled — scanned by the adr-check integration test.
+
+use std::collections::HashMap;
+
+/// OS-seeded entropy in library code: a violation.
+pub fn random_projection_seed() -> u64 {
+    let rng = thread_rng();
+    rng.next_u64()
+}
+
+/// Sums centroid norms by iterating a `HashMap` inside float accumulation:
+/// the reduction order is the hash order — a violation.
+pub fn centroid_mass(centroids: &HashMap<u64, f32>) -> f32 {
+    let mut total = 0.0;
+    for (_, v) in centroids.iter() {
+        total += v;
+    }
+    total
+}
+
+/// Deterministic reduction over a dense slice: fine.
+pub fn centroid_mass_dense(norms: &[f32]) -> f32 {
+    let mut total = 0.0;
+    for v in norms {
+        total += v;
+    }
+    total
+}
+
+/// Exact float equality as a convergence test: a violation.
+pub fn converged(prev: f32, curr: f32) -> bool {
+    prev == curr
+}
+
+/// Tolerance-based convergence test: fine.
+pub fn converged_tolerant(prev: f32, curr: f32) -> bool {
+    (prev - curr).abs() < 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    /// Exact equality on freshly constructed values in tests is fine.
+    #[test]
+    fn exact_compare_in_tests_is_fine() {
+        let x = 1.5f32;
+        assert!(x == 1.5);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: seeded `adr::grad_coverage` violation.
+//! Not compiled — scanned by the adr-check integration test.
+
+/// A layer missing from the gradient-check registry.
+pub struct Unchecked;
+
+impl Layer for Unchecked {
+    fn forward(&mut self, x: Matrix) -> Matrix {
+        x
+    }
+}
+
+/// Exempted: carries an audited opt-out comment.
+pub struct Opaque;
+
+// grad-check: exempt — identity layer, nothing to differentiate
+impl Layer for Opaque {
+    fn forward(&mut self, x: Matrix) -> Matrix {
+        x
+    }
+}

@@ -15,11 +15,27 @@
 //!   `reuse` must share its function with a FLOP-meter update.
 //! * [`lints::shape_docs`] — public `tensor`/`nn` functions taking matrix
 //!   dimensions must carry a `# Shape` doc section.
+//! * [`lints::determinism`] — OS-entropy sources (`thread_rng`,
+//!   `from_entropy`, `SystemTime`) are banned in numeric library code, and
+//!   hash-collection iteration is banned inside float-accumulating
+//!   functions; the seeded `AdrRng` is the only sanctioned entropy source.
+//! * [`lints::float_eq`] — exact `==`/`!=` between float expressions is
+//!   denied outside `#[cfg(test)]`.
+//! * [`lints::grad_coverage`] — every `Layer` impl in `nn` with a
+//!   `forward` must be registered in `tests/gradient_checks.rs`.
 //!
-//! The analyzer is deliberately lexical (comment/literal-blanked token
-//! scanning rather than a `syn` parse): the workspace builds fully offline,
-//! and the enforced properties are lexical pairings. See `DESIGN.md`
-//! ("Invariants & static checks") for the contract.
+//! The v1 lints are lexical pairings on the comment/literal-blanked token
+//! stream; the v2 lints add binding-level dataflow facts ([`parser`]) on
+//! top of the same lexer. There is still no `syn` dependency — the
+//! workspace builds fully offline. See `DESIGN.md` ("Invariants & static
+//! checks") for the contract, including each lint's accepted imprecision.
+//!
+//! Besides source lints, the crate hosts the static model-graph verifier
+//! ([`shapegraph`], exposed as `adr-check shapes`): it propagates
+//! `(N, C, H, W)` through every `NetSpec` in `crates/models` and rejects
+//! incompatible layer chains, invalid im2col factorizations (Eq. 5 needs
+//! `L | K`), and reuse configs whose `H` exceeds the 64-bit signature
+//! budget.
 
 // Tests assert on values they just constructed; unwrap there is the idiom.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -27,7 +43,9 @@
 pub mod allowlist;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod scan;
+pub mod shapegraph;
 
 use std::path::{Path, PathBuf};
 
@@ -41,6 +59,12 @@ pub const NO_PANIC_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering"];
 pub const FLOP_CRATES: &[&str] = &["nn", "reuse"];
 /// Crates whose public dimension-taking functions need `# Shape` docs.
 pub const SHAPE_CRATES: &[&str] = &["tensor", "nn"];
+/// Crates whose library code must be run-to-run deterministic.
+pub const DETERMINISM_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering", "core"];
+/// Crates where exact float `==`/`!=` is denied outside tests.
+pub const FLOAT_EQ_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering", "core"];
+/// Crates whose `Layer` impls must appear in the gradient-check registry.
+pub const GRAD_COVERAGE_CRATES: &[&str] = &["nn"];
 
 /// Everything one run produced.
 pub struct Report {
@@ -81,10 +105,31 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         Allowlist::empty()
     };
 
+    // Gradient-check registry: type names listed via `grad-check:` comments
+    // in the integration-test suite. Read from the raw text (the cleaned
+    // text blanks comments). A missing file yields an empty registry, so
+    // every `Layer` impl is flagged — which is what fixture workspaces want.
+    let registry_path = root.join("tests").join("gradient_checks.rs");
+    let registry = if registry_path.is_file() {
+        let text = std::fs::read_to_string(&registry_path)
+            .map_err(|e| format!("reading {}: {e}", registry_path.display()))?;
+        lints::grad_check_registry(&text)
+    } else {
+        Vec::new()
+    };
+
     let mut findings = Vec::new();
+    let mut layer_impls = Vec::new();
     let mut files_scanned = 0usize;
     let mut lint_crates: Vec<(&str, Vec<Lint>)> = Vec::new();
-    for name in NO_PANIC_CRATES.iter().chain(FLOP_CRATES).chain(SHAPE_CRATES) {
+    let all_crates = NO_PANIC_CRATES
+        .iter()
+        .chain(FLOP_CRATES)
+        .chain(SHAPE_CRATES)
+        .chain(DETERMINISM_CRATES)
+        .chain(FLOAT_EQ_CRATES)
+        .chain(GRAD_COVERAGE_CRATES);
+    for name in all_crates {
         if !lint_crates.iter().any(|(n, _)| n == name) {
             let mut lints = Vec::new();
             if NO_PANIC_CRATES.contains(name) {
@@ -96,6 +141,12 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
             if SHAPE_CRATES.contains(name) {
                 lints.push(Lint::ShapeDocs);
             }
+            if DETERMINISM_CRATES.contains(name) {
+                lints.push(Lint::Determinism);
+            }
+            if FLOAT_EQ_CRATES.contains(name) {
+                lints.push(Lint::FloatEq);
+            }
             lint_crates.push((name, lints));
         }
     }
@@ -105,6 +156,7 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         if !src.is_dir() {
             continue; // fixture workspaces may model only some crates
         }
+        let collect_impls = GRAD_COVERAGE_CRATES.contains(crate_name);
         for path in rust_files(&src)? {
             let rel = rel_path(root, &path);
             let text = std::fs::read_to_string(&path)
@@ -117,12 +169,24 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
                     Lint::NoPanic => file_findings.extend(lints::no_panic(&rel, &model)),
                     Lint::FlopCoverage => file_findings.extend(lints::flop_coverage(&rel, &model)),
                     Lint::ShapeDocs => file_findings.extend(lints::shape_docs(&rel, &model)),
+                    Lint::Determinism => file_findings.extend(lints::determinism(&rel, &model)),
+                    Lint::FloatEq => file_findings.extend(lints::float_eq(&rel, &model)),
+                    Lint::GradCoverage => {}
                 }
+            }
+            if collect_impls {
+                layer_impls.extend(lints::layer_impls(&rel, &model));
             }
             findings
                 .extend(file_findings.into_iter().filter(|f| !allow.allows(&f.file, &f.line_text)));
         }
     }
+
+    findings.extend(
+        lints::grad_coverage(&layer_impls, &registry)
+            .into_iter()
+            .filter(|f| !allow.allows(&f.file, &f.line_text)),
+    );
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     let unused_allow = allow

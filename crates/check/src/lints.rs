@@ -1,12 +1,15 @@
 //! The ADR-specific lints.
 //!
-//! All three lints are lexical: they run on the comment/literal-blanked
-//! source (see [`crate::lexer`]) with function spans and `#[cfg(test)]`
-//! regions from [`crate::scan`]. That is deliberate — the invariants they
-//! enforce (token pairing and doc sections) are lexical properties, and a
-//! zero-dependency scanner keeps the tool runnable in the fully offline
-//! build environment.
+//! The v1 lints (`no_panic`, `flop_coverage`, `shape_docs`) are lexical:
+//! they run on the comment/literal-blanked source (see [`crate::lexer`])
+//! with function spans and `#[cfg(test)]` regions from [`crate::scan`].
+//! The v2 dataflow lints (`determinism`, `float_eq`, `grad_coverage`) add
+//! the binding-level facts of [`crate::parser`]: use-path resolution,
+//! map/float-typed locals and fields, and float-accumulation detection.
+//! All of it stays hand-rolled on the existing lexer (no `syn`), so the
+//! tool keeps running in the fully offline build environment.
 
+use crate::parser::{self, FnFacts, UseMap};
 use crate::scan::{is_word_at, FileModel};
 
 /// Which lint produced a finding.
@@ -18,6 +21,12 @@ pub enum Lint {
     FlopCoverage,
     /// Public dimension-taking function without a `# Shape` doc section.
     ShapeDocs,
+    /// Run-to-run nondeterminism source in numeric library code.
+    Determinism,
+    /// Exact float equality outside test code.
+    FloatEq,
+    /// `Layer` implementation missing from the gradient-check registry.
+    GradCoverage,
 }
 
 impl Lint {
@@ -27,6 +36,9 @@ impl Lint {
             Lint::NoPanic => "adr::no_panic",
             Lint::FlopCoverage => "adr::flop_coverage",
             Lint::ShapeDocs => "adr::shape_docs",
+            Lint::Determinism => "adr::determinism",
+            Lint::FloatEq => "adr::float_eq",
+            Lint::GradCoverage => "adr::grad_coverage",
         }
     }
 }
@@ -189,6 +201,344 @@ pub fn shape_docs(file: &str, model: &FileModel) -> Vec<Finding> {
         });
     }
     findings
+}
+
+/// Entropy sources banned outright in numeric library code: everything
+/// stochastic must flow from a seeded `AdrRng` so whole runs replay
+/// bit-for-bit (the paper's Figs. 7–8 curves are only comparable across
+/// `{L, H, CR}` settings when the policy is the *only* varying input).
+const ENTROPY_TOKENS: &[(&str, &str)] = &[
+    ("thread_rng", "thread_rng() is OS-seeded; draw from a seeded AdrRng stream instead"),
+    (
+        "from_entropy",
+        "from_entropy() seeds from the OS; derive the seed from AdrRng::split instead",
+    ),
+    (
+        "SystemTime",
+        "SystemTime-derived values must not feed seeds or policy decisions; \
+         use a seeded AdrRng (wall-clock *measurement* belongs in Instant-based reporting only)",
+    ),
+];
+
+/// Iteration adaptors whose order is unspecified on hash collections.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Lint 4: run-to-run determinism. Bans OS-entropy sources everywhere in
+/// numeric library code, and bans iterating a `HashMap`/`HashSet` (or the
+/// workspace's `SignatureMap`/`SignatureSet` aliases) inside any function
+/// that accumulates floats — hash-iteration order reorders float sums,
+/// which breaks bitwise reproducibility across builds and capacities. Sort
+/// the keys (or keep a side `Vec` in insertion order) before folding.
+pub fn determinism(file: &str, model: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let cleaned = &model.cleaned;
+
+    for (token, message) in ENTROPY_TOKENS {
+        let mut i = 0usize;
+        while let Some(pos) = cleaned[i..].find(token).map(|p| p + i) {
+            i = pos + token.len();
+            if !is_word_at(cleaned, pos, token) || model.in_test_code(pos) {
+                continue;
+            }
+            let line = model.line_of(pos);
+            findings.push(Finding {
+                lint: Lint::Determinism,
+                file: file.to_string(),
+                line,
+                message: (*message).to_string(),
+                line_text: model.line_text(line).to_string(),
+            });
+        }
+    }
+
+    let uses = UseMap::collect(cleaned);
+    let fields = parser::map_fields(model, &uses);
+    for f in &model.fns {
+        if model.in_test_code(f.start) || f.body.is_empty() {
+            continue;
+        }
+        let facts = parser::fn_facts(model, f, &uses);
+        if !facts.accumulates_float {
+            continue;
+        }
+        let mut names: Vec<&str> = facts.map_locals.iter().map(String::as_str).collect();
+        names.extend(fields.iter().map(String::as_str));
+        let body = &cleaned[f.body.clone()];
+        for name in names {
+            for pos in iteration_sites(body, name) {
+                let global = f.body.start + pos;
+                let line = model.line_of(global);
+                findings.push(Finding {
+                    lint: Lint::Determinism,
+                    file: file.to_string(),
+                    line,
+                    message: format!(
+                        "fn `{}` iterates hash collection `{}` while accumulating floats; \
+                         hash order is not a stable reduction order — sort the keys first",
+                        f.name, name
+                    ),
+                    line_text: model.line_text(line).to_string(),
+                });
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings.dedup_by(|a, b| a.line == b.line && a.message == b.message);
+    findings
+}
+
+/// Byte offsets in `body` where hash collection `name` is iterated: either
+/// `name.<iter-method>(` (incl. `self.name.…`) or as the sequence of a
+/// `for … in [&[mut ]]name` loop.
+fn iteration_sites(body: &str, name: &str) -> Vec<usize> {
+    let mut sites = Vec::new();
+    let mut i = 0usize;
+    while let Some(pos) = body[i..].find(name).map(|p| p + i) {
+        i = pos + name.len();
+        if !is_word_at(body, pos, name) {
+            continue;
+        }
+        let rest = &body[pos + name.len()..];
+        // Method-call iteration: `name.iter()`, `name.values_mut()`, ...
+        if let Some(method_rest) = rest.strip_prefix('.') {
+            let method: String = method_rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if ITER_METHODS.contains(&method.as_str()) {
+                sites.push(pos);
+                continue;
+            }
+        }
+        // Loop iteration: `for … in name {` / `in &name {`.
+        let before = body[..pos].trim_end();
+        let before = before.trim_end_matches('&').trim_end();
+        let before = before.strip_suffix("mut").map_or(before, |b| b.trim_end());
+        let before = before.trim_end_matches('&').trim_end();
+        let is_for_in = before.ends_with("in")
+            && is_word_at(before, before.len() - 2, "in")
+            && rest.trim_start().starts_with('{');
+        if is_for_in {
+            sites.push(pos);
+        }
+    }
+    sites
+}
+
+/// Lint 5: no exact `==`/`!=` between float expressions outside
+/// `#[cfg(test)]`. Exact float equality is only meaningful for IEEE
+/// special-case guards; everything else must compare against a tolerance
+/// (`Matrix::max_abs_diff`, `(a - b).abs() < eps`). The rare deliberate
+/// exact guard is an allowlist entry with an audit comment.
+pub fn float_eq(file: &str, model: &FileModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let cleaned = &model.cleaned;
+    let uses = UseMap::collect(cleaned);
+    for op in ["==", "!="] {
+        let mut i = 0usize;
+        while let Some(pos) = cleaned[i..].find(op).map(|p| p + i) {
+            i = pos + op.len();
+            if model.in_test_code(pos) {
+                continue;
+            }
+            // `==` also matches inside `!=`'s neighbour scan; and any `=` run
+            // longer than the operator is not a comparison.
+            if op == "==" && pos > 0 && cleaned.as_bytes()[pos - 1] == b'!' {
+                continue;
+            }
+            let floats = {
+                let facts = model
+                    .enclosing_fn(pos)
+                    .map(|f| parser::fn_facts(model, f, &uses))
+                    .unwrap_or_default();
+                operand_is_float(&cleaned[..pos], &facts, true)
+                    || operand_is_float(&cleaned[pos + op.len()..], &facts, false)
+            };
+            if !floats {
+                continue;
+            }
+            let line = model.line_of(pos);
+            findings.push(Finding {
+                lint: Lint::FloatEq,
+                file: file.to_string(),
+                line,
+                message: format!(
+                    "exact float `{op}` outside tests; compare against a tolerance \
+                     (max_abs_diff / (a - b).abs() < eps) or allowlist the audited exact guard"
+                ),
+                line_text: model.line_text(line).to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Classifies the operand adjacent to a comparison: `text` is everything
+/// before (`left = true`) or after (`left = false`) the operator.
+fn operand_is_float(text: &str, facts: &FnFacts, left: bool) -> bool {
+    let token: String = if left {
+        let trimmed = text.trim_end();
+        trimmed
+            .chars()
+            .rev()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect()
+    } else {
+        let trimmed = text.trim_start().trim_start_matches('-').trim_start();
+        trimmed
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+            .collect()
+    };
+    if token.is_empty() {
+        return false;
+    }
+    // A float literal (`0.0`, `1e-3` won't parse here but `1.5` will), an
+    // `as f32` cast remnant, or a tracked float-typed binding.
+    if parser::contains_float_literal(&token) {
+        return true;
+    }
+    let last_segment = token.rsplit('.').next().unwrap_or(&token);
+    facts.float_locals.iter().any(|n| n == last_segment)
+}
+
+/// One `impl Layer for T` site found in `nn` sources.
+#[derive(Debug)]
+pub struct LayerImpl {
+    /// Implementing type name.
+    pub type_name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-indexed line of the `impl`.
+    pub line: usize,
+    /// Raw text of the `impl` line.
+    pub line_text: String,
+    /// Whether the impl block provides a `forward`.
+    pub has_forward: bool,
+    /// Whether a `grad-check: exempt` audit comment precedes the impl.
+    pub exempt: bool,
+}
+
+/// Collects `impl Layer for <Type>` blocks from one file.
+pub fn layer_impls(file: &str, model: &FileModel) -> Vec<LayerImpl> {
+    let cleaned = &model.cleaned;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while let Some(pos) = cleaned[i..].find("impl").map(|p| p + i) {
+        i = pos + 4;
+        if !is_word_at(cleaned, pos, "impl") || model.in_test_code(pos) {
+            continue;
+        }
+        let Some(open) = cleaned[pos..].find('{').map(|p| p + pos) else {
+            break;
+        };
+        let header = &cleaned[pos..open];
+        let Some(for_pos) = header.find(" for ") else {
+            continue;
+        };
+        let trait_part = &header[4..for_pos];
+        let trait_leaf = trait_part
+            .trim()
+            .trim_end_matches('>')
+            .rsplit("::")
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_start_matches('<')
+            .trim();
+        if trait_leaf != "Layer" {
+            continue;
+        }
+        let type_name: String = header[for_pos + 5..]
+            .trim()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if type_name.is_empty() {
+            continue;
+        }
+        let close = crate::scan::match_brace(cleaned, open);
+        let body = &cleaned[open..close];
+        let has_forward =
+            body.match_indices("fn forward").any(|(p, _)| is_word_at(body, p + 3, "forward"));
+        let line = model.line_of(pos);
+        let exempt = (line.saturating_sub(3)..line)
+            .filter(|&l| l > 0)
+            .any(|l| model.line_text(l).contains("grad-check: exempt"));
+        out.push(LayerImpl {
+            type_name,
+            file: file.to_string(),
+            line,
+            line_text: model.line_text(line).to_string(),
+            has_forward,
+            exempt,
+        });
+        i = open + 1;
+    }
+    out
+}
+
+/// Parses the gradient-check registry: every `grad-check: A, B` comment in
+/// `tests/gradient_checks.rs` contributes its listed type names.
+pub fn grad_check_registry(raw: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in raw.lines() {
+        let Some(idx) = line.find("grad-check:") else {
+            continue;
+        };
+        let list = &line[idx + "grad-check:".len()..];
+        for name in list.split(',') {
+            let name = name.trim();
+            if !name.is_empty()
+                && name != "exempt"
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Lint 6: every `Layer` implementation in `nn` with a `forward` must be
+/// registered (and therefore exercised) in the gradient-check suite. The
+/// paper's backward-reuse equations (9/10, 17/18) only hold when each
+/// layer's analytic gradient is validated against finite differences — a
+/// layer outside the registry is an unverified link in every chain rule.
+pub fn grad_coverage(impls: &[LayerImpl], registry: &[String]) -> Vec<Finding> {
+    impls
+        .iter()
+        .filter(|imp| imp.has_forward && !imp.exempt)
+        .filter(|imp| !registry.iter().any(|r| r == &imp.type_name))
+        .map(|imp| Finding {
+            lint: Lint::GradCoverage,
+            file: imp.file.clone(),
+            line: imp.line,
+            message: format!(
+                "`{}` implements Layer but has no `grad-check: {}` entry in \
+                 tests/gradient_checks.rs (add a finite-difference check, or an audited \
+                 `grad-check: exempt` comment above the impl)",
+                imp.type_name, imp.type_name
+            ),
+            line_text: imp.line_text.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]

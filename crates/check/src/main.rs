@@ -1,19 +1,27 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! ```text
-//! cargo run -p adr-check            # check the current workspace
+//! cargo run -p adr-check                      # lint the current workspace
 //! cargo run -p adr-check -- --root some/workspace
+//! cargo run -p adr-check -- shapes            # verify the built-in model specs
+//! cargo run -p adr-check -- shapes --spec f.spec   # verify a text spec file
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` findings, stale allowlist entries (a hard
+//! failure — audits that match nothing must be pruned), or shape
+//! violations, `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("shapes") {
+        args.next();
+        return run_shapes(args);
+    }
+
     let mut root = PathBuf::from(".");
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
@@ -25,6 +33,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!("usage: adr-check [--root <workspace-root>]");
+                println!("       adr-check shapes [--spec <spec-file>]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -48,7 +57,7 @@ fn main() -> ExitCode {
         println!("   | {}", finding.line_text.trim_end());
     }
     for stale in &report.unused_allow {
-        println!("warning[adr::stale_allow]: {stale}");
+        println!("error[adr::stale_allow]: {stale} — prune the entry");
     }
     if report.is_clean() {
         println!("adr-check: {} files clean", report.files_scanned);
@@ -60,6 +69,71 @@ fn main() -> ExitCode {
             report.unused_allow.len(),
             report.files_scanned
         );
+        ExitCode::FAILURE
+    }
+}
+
+/// `adr-check shapes [--spec <file>]`: verifies either the built-in model
+/// specs from `adr-models` or one parsed text spec.
+fn run_shapes(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut spec_file: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: --spec needs a path");
+                    return ExitCode::from(2);
+                };
+                spec_file = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                println!("usage: adr-check shapes [--spec <spec-file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let specs = match spec_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("error: reading {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match adr_check::shapegraph::parse_spec(&text) {
+                Ok(spec) => vec![spec],
+                Err(message) => {
+                    eprintln!("error: {}: {message}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => adr_models::all_net_specs(),
+    };
+
+    let mut failures = 0usize;
+    for spec in &specs {
+        let report = adr_check::shapegraph::verify(spec);
+        println!("shape-check {}", report.net);
+        for line in &report.trace {
+            println!("  {line}");
+        }
+        if let Some(err) = &report.error {
+            println!("error[adr::shape_graph]: {}/{}: {}", report.net, err.layer, err.message);
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("adr-check shapes: {} spec(s) verified", specs.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("adr-check shapes: {failures} of {} spec(s) failed", specs.len());
         ExitCode::FAILURE
     }
 }

@@ -81,8 +81,8 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Byte offset of the matching `}` for the `{` at `open` (or text end).
-fn match_brace(cleaned: &str, open: usize) -> usize {
+/// Byte offset just past the matching `}` for the `{` at `open` (or text end).
+pub fn match_brace(cleaned: &str, open: usize) -> usize {
     let bytes = cleaned.as_bytes();
     let mut depth = 0usize;
     let mut i = open;

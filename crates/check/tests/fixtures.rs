@@ -34,9 +34,15 @@ fn fixture_violations_fail_the_check() {
     assert!(text.contains("adr::no_panic"), "missing no_panic finding:\n{text}");
     assert!(text.contains("adr::flop_coverage"), "missing flop_coverage finding:\n{text}");
     assert!(text.contains("adr::shape_docs"), "missing shape_docs finding:\n{text}");
+    assert!(text.contains("adr::determinism"), "missing determinism finding:\n{text}");
+    assert!(text.contains("adr::float_eq"), "missing float_eq finding:\n{text}");
+    assert!(text.contains("adr::grad_coverage"), "missing grad_coverage finding:\n{text}");
     // The audited/compliant halves of the fixtures stay quiet.
     assert!(!text.contains("make_matrix_documented"), "documented fn was flagged:\n{text}");
     assert!(!text.contains("forward_metered"), "metered GEMM was flagged:\n{text}");
+    assert!(!text.contains("centroid_mass_dense"), "dense reduction was flagged:\n{text}");
+    assert!(!text.contains("converged_tolerant"), "tolerant compare was flagged:\n{text}");
+    assert!(!text.contains("Opaque"), "grad-check-exempt impl was flagged:\n{text}");
 }
 
 #[test]
@@ -49,12 +55,17 @@ fn fixture_findings_are_precise() {
         .map(|f| (f.lint.name(), f.file.rsplit_once('/').map_or(f.file.as_str(), |(_, n)| n)))
         .collect();
     names.sort_unstable();
-    // tensor: unwrap + missing # Shape; nn: unmetered matmul;
-    // reuse: panic! + expect.
+    // tensor: unwrap + missing # Shape; nn: unmetered matmul + unregistered
+    // Layer impl; reuse: panic! + expect; clustering: thread_rng + map
+    // iteration under float accumulation + exact float compare.
     assert_eq!(
         names,
         vec![
+            ("adr::determinism", "lib.rs"),
+            ("adr::determinism", "lib.rs"),
+            ("adr::float_eq", "lib.rs"),
             ("adr::flop_coverage", "lib.rs"),
+            ("adr::grad_coverage", "unregistered.rs"),
             ("adr::no_panic", "lib.rs"),
             ("adr::no_panic", "lib.rs"),
             ("adr::no_panic", "lib.rs"),
@@ -70,4 +81,44 @@ fn shipped_workspace_is_clean() {
     let root = manifest_dir().join("../..");
     let (code, text) = run_on(&root);
     assert_eq!(code, 0, "the shipped workspace must pass adr-check; output:\n{text}");
+}
+
+fn run_shapes(extra: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_adr-check"))
+        .arg("shapes")
+        .args(extra)
+        .output()
+        .expect("adr-check binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.code().expect("adr-check exits normally"), text)
+}
+
+#[test]
+fn shapes_accepts_all_builtin_specs() {
+    let (code, text) = run_shapes(&[]);
+    assert_eq!(code, 0, "built-in specs must verify; output:\n{text}");
+    for net in ["cifarnet", "alexnet", "vgg19"] {
+        assert!(text.contains(&format!("shape-check {net}")), "missing {net} trace:\n{text}");
+    }
+    assert!(text.contains("3 spec(s) verified"), "unexpected summary:\n{text}");
+}
+
+#[test]
+fn shapes_rejects_broken_fixture_with_trace() {
+    let spec = manifest_dir().join("fixtures/shapes/broken.spec");
+    let (code, text) = run_shapes(&["--spec", &spec.to_string_lossy()]);
+    assert_eq!(code, 1, "broken spec must fail; output:\n{text}");
+    // The error names the offending layer and the trace shows the divergence.
+    assert!(
+        text.contains("error[adr::shape_graph]: broken-cifarnet/conv2"),
+        "error must name conv2:\n{text}"
+    );
+    assert!(text.contains("disagrees with propagated"), "missing mismatch detail:\n{text}");
+    // The propagated prefix is printed: pool1 produced the 15x15 activation
+    // conv2 contradicts.
+    assert!(text.contains("(N, 64, 15, 15)"), "missing propagated shape in trace:\n{text}");
 }

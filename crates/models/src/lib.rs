@@ -30,7 +30,13 @@ use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::im2col::ConvGeom;
 use adr_tensor::rng::AdrRng;
 
-pub use spec::{ConvSpec, ModelSpec};
+pub use spec::{ConvSpec, LayerSpec, ModelSpec, NetSpec, ReuseSpec};
+
+/// Every shipped whole-network architecture declaration, in Table II order.
+/// The static shape verifier (`adr-check shapes`) iterates exactly this set.
+pub fn all_net_specs() -> Vec<NetSpec> {
+    vec![cifarnet::net_spec(), alexnet::net_spec(), vgg19::net_spec()]
+}
 
 /// Whether convolutions are built dense or with deep reuse.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

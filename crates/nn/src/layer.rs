@@ -51,6 +51,13 @@ impl ParamRefMut<'_> {
 /// `backward`, and `backward` both computes the input gradient and fills
 /// parameter gradients (if any). `backward` must follow a
 /// `forward(Mode::Train)` on the same batch.
+///
+/// Every `impl Layer` in this crate that defines `forward` must be covered
+/// by a finite-difference gradient check: add the type name to a
+/// `// grad-check: ...` registry comment in `tests/gradient_checks.rs`, or
+/// place `// grad-check: exempt — <reason>` directly above the impl if the
+/// layer has nothing to differentiate. The `adr::grad_coverage` lint in
+/// `adr-check` enforces this.
 pub trait Layer {
     /// Short human-readable name used in reports (e.g. `"conv1"`).
     fn name(&self) -> &str;
