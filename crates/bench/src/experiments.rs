@@ -536,7 +536,9 @@ fn run_one(case: &Table4Case, mode: ConvMode, strategy: Strategy, quick: bool) -
     });
     let mut sgd = Sgd::new(LrSchedule::InverseTime { base: case.lr, rate: 0.005 }, 0.9, 0.0)
         .with_clip_norm(5.0);
-    trainer.train(&mut net, strategy, &mut source, &mut sgd)
+    trainer
+        .train(&mut net, strategy, &mut source, &mut sgd)
+        .expect("bench networks always match their strategy")
 }
 
 #[cfg(test)]

@@ -1,0 +1,11 @@
+//! Fixture: the atomic-write helper itself — the one file where the raw
+//! write syscalls are sanctioned (`adr::durable_io` exempts `durable.rs`).
+//! Not compiled — scanned by the adr-check integration test.
+
+/// Temp + rename stand-in for the real helper; its bare `fs::write` and
+/// the rename must stay quiet under `adr::durable_io`.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}

@@ -1,4 +1,4 @@
-//! Fixture: seeded `adr::flop_coverage` violation.
+//! Fixture: seeded `adr::flop_coverage` and `adr::durable_io` violations.
 //! Not compiled — scanned by the adr-check integration test.
 
 pub struct Layer {
@@ -25,4 +25,16 @@ impl Layer {
         *gemm_flops += 1; // stands in for meter.add_forward(actual, baseline)
         y
     }
+}
+
+/// Bare write with no temp + fsync + rename protocol: a violation — a
+/// crash mid-write leaves a torn checkpoint at `path`.
+pub fn save_snapshot_torn(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    std::io::Write::write_all(&mut file, bytes)
+}
+
+/// Routed through the atomic helper: fine.
+pub fn save_snapshot_durable(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    crate::durable::write_atomic(path, bytes)
 }

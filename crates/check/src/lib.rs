@@ -23,6 +23,10 @@
 //!   denied outside `#[cfg(test)]`.
 //! * [`lints::grad_coverage`] — every `Layer` impl in `nn` with a
 //!   `forward` must be registered in `tests/gradient_checks.rs`.
+//! * [`lints::durable_io`] — bare `File::create`/`fs::write` is denied in
+//!   the checkpoint-adjacent crates (`nn`, `core`); every persistent
+//!   artifact must go through `durable::write_atomic` (temp + fsync +
+//!   atomic rename) so a crash can never tear it.
 //!
 //! The v1 lints are lexical pairings on the comment/literal-blanked token
 //! stream; the v2 lints add binding-level dataflow facts ([`parser`]) on
@@ -65,6 +69,8 @@ pub const DETERMINISM_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering",
 pub const FLOAT_EQ_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering", "core"];
 /// Crates whose `Layer` impls must appear in the gradient-check registry.
 pub const GRAD_COVERAGE_CRATES: &[&str] = &["nn"];
+/// Crates whose file writes must go through the atomic durable helper.
+pub const DURABLE_IO_CRATES: &[&str] = &["nn", "core"];
 
 /// Everything one run produced.
 pub struct Report {
@@ -128,7 +134,8 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         .chain(SHAPE_CRATES)
         .chain(DETERMINISM_CRATES)
         .chain(FLOAT_EQ_CRATES)
-        .chain(GRAD_COVERAGE_CRATES);
+        .chain(GRAD_COVERAGE_CRATES)
+        .chain(DURABLE_IO_CRATES);
     for name in all_crates {
         if !lint_crates.iter().any(|(n, _)| n == name) {
             let mut lints = Vec::new();
@@ -146,6 +153,9 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
             }
             if FLOAT_EQ_CRATES.contains(name) {
                 lints.push(Lint::FloatEq);
+            }
+            if DURABLE_IO_CRATES.contains(name) {
+                lints.push(Lint::DurableIo);
             }
             lint_crates.push((name, lints));
         }
@@ -171,6 +181,7 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
                     Lint::ShapeDocs => file_findings.extend(lints::shape_docs(&rel, &model)),
                     Lint::Determinism => file_findings.extend(lints::determinism(&rel, &model)),
                     Lint::FloatEq => file_findings.extend(lints::float_eq(&rel, &model)),
+                    Lint::DurableIo => file_findings.extend(lints::durable_io(&rel, &model)),
                     Lint::GradCoverage => {}
                 }
             }

@@ -27,6 +27,8 @@ pub enum Lint {
     FloatEq,
     /// `Layer` implementation missing from the gradient-check registry.
     GradCoverage,
+    /// Bare (non-atomic) file write in checkpoint-adjacent code.
+    DurableIo,
 }
 
 impl Lint {
@@ -39,6 +41,7 @@ impl Lint {
             Lint::Determinism => "adr::determinism",
             Lint::FloatEq => "adr::float_eq",
             Lint::GradCoverage => "adr::grad_coverage",
+            Lint::DurableIo => "adr::durable_io",
         }
     }
 }
@@ -541,6 +544,64 @@ pub fn grad_coverage(impls: &[LayerImpl], registry: &[String]) -> Vec<Finding> {
         .collect()
 }
 
+/// Bare write entry points denied in checkpoint-adjacent crates. A torn
+/// checkpoint is worse than none — a resumed run reads half-written state —
+/// so every persistent artifact must go through the temp + fsync + rename
+/// protocol of `adr_nn::durable::write_atomic`.
+const DURABLE_IO_TOKENS: &[(&str, &str)] = &[
+    (
+        "File::create",
+        "bare File::create in checkpoint-adjacent code; route the write through \
+         durable::write_atomic (temp + fsync + rename) so a crash cannot tear the artifact",
+    ),
+    (
+        "fs::write",
+        "bare fs::write in checkpoint-adjacent code; route the write through \
+         durable::write_atomic (temp + fsync + rename) so a crash cannot tear the artifact",
+    ),
+];
+
+/// Lint 7: persistent artifacts in checkpoint-adjacent crates must be
+/// written through the atomic helper, never with bare `File::create` or
+/// `fs::write`. The helper itself (`durable.rs`) is the one sanctioned
+/// home for the raw syscalls and is exempt.
+pub fn durable_io(file: &str, model: &FileModel) -> Vec<Finding> {
+    if file.ends_with("durable.rs") {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let cleaned = &model.cleaned;
+    for (token, message) in DURABLE_IO_TOKENS {
+        let mut i = 0usize;
+        while let Some(pos) = cleaned[i..].find(token).map(|p| p + i) {
+            i = pos + token.len();
+            // Word boundary at the front: `BigFile::create` is a different
+            // type, but a path prefix (`std::fs::write`) is still a match.
+            if pos > 0 {
+                let before = cleaned.as_bytes()[pos - 1];
+                if before.is_ascii_alphanumeric() || before == b'_' {
+                    continue;
+                }
+            }
+            // Call sites only: `…(`. This also skips longer method names
+            // like `fs::write_atomic` re-exports.
+            let rest = cleaned[pos + token.len()..].trim_start();
+            if !rest.starts_with('(') || model.in_test_code(pos) {
+                continue;
+            }
+            let line = model.line_of(pos);
+            findings.push(Finding {
+                lint: Lint::DurableIo,
+                file: file.to_string(),
+                line,
+                message: (*message).to_string(),
+                line_text: model.line_text(line).to_string(),
+            });
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,5 +690,37 @@ mod tests {
     fn shape_docs_ignores_usize_slices() {
         let m = model("pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 { 0.0 }");
         assert!(shape_docs("lib.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn durable_io_flags_bare_writes() {
+        let m = model(
+            "fn save(p: &Path, b: &[u8]) -> io::Result<()> { let f = File::create(p)?; Ok(()) }\n\
+             fn dump(p: &Path, b: &[u8]) { std::fs::write(p, b).ok(); }",
+        );
+        let found = durable_io("crates/nn/src/checkpoint.rs", &m);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.lint == Lint::DurableIo));
+    }
+
+    #[test]
+    fn durable_io_exempts_the_atomic_helper_and_tests() {
+        let src = "fn save(p: &Path) { let f = File::create(p); }";
+        let m = model(src);
+        assert!(durable_io("crates/nn/src/durable.rs", &m).is_empty());
+        let m =
+            model("#[cfg(test)]\nmod tests {\n fn f(p: &Path) { std::fs::write(p, b\"x\"); }\n}");
+        assert!(durable_io("crates/nn/src/checkpoint.rs", &m).is_empty());
+    }
+
+    #[test]
+    fn durable_io_ignores_lookalikes() {
+        let m = model(
+            "fn a(p: &Path, b: &[u8]) { durable::write_atomic(p, b); }\n\
+             fn b(p: &Path) { BigFile::create(p); }\n\
+             fn c(p: &Path, b: &[u8]) { my_fs::write(p, b); }\n\
+             fn d() { let fs_write = 1; }",
+        );
+        assert!(durable_io("crates/core/src/state.rs", &m).is_empty());
     }
 }

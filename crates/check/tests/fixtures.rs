@@ -37,9 +37,12 @@ fn fixture_violations_fail_the_check() {
     assert!(text.contains("adr::determinism"), "missing determinism finding:\n{text}");
     assert!(text.contains("adr::float_eq"), "missing float_eq finding:\n{text}");
     assert!(text.contains("adr::grad_coverage"), "missing grad_coverage finding:\n{text}");
+    assert!(text.contains("adr::durable_io"), "missing durable_io finding:\n{text}");
     // The audited/compliant halves of the fixtures stay quiet.
     assert!(!text.contains("make_matrix_documented"), "documented fn was flagged:\n{text}");
     assert!(!text.contains("forward_metered"), "metered GEMM was flagged:\n{text}");
+    assert!(!text.contains("save_snapshot_durable"), "atomic write path was flagged:\n{text}");
+    assert!(!text.contains("durable.rs"), "the exempt atomic helper was flagged:\n{text}");
     assert!(!text.contains("centroid_mass_dense"), "dense reduction was flagged:\n{text}");
     assert!(!text.contains("converged_tolerant"), "tolerant compare was flagged:\n{text}");
     assert!(!text.contains("Opaque"), "grad-check-exempt impl was flagged:\n{text}");
@@ -56,13 +59,15 @@ fn fixture_findings_are_precise() {
         .collect();
     names.sort_unstable();
     // tensor: unwrap + missing # Shape; nn: unmetered matmul + unregistered
-    // Layer impl; reuse: panic! + expect; clustering: thread_rng + map
-    // iteration under float accumulation + exact float compare.
+    // Layer impl + bare File::create; reuse: panic! + expect; clustering:
+    // thread_rng + map iteration under float accumulation + exact float
+    // compare.
     assert_eq!(
         names,
         vec![
             ("adr::determinism", "lib.rs"),
             ("adr::determinism", "lib.rs"),
+            ("adr::durable_io", "lib.rs"),
             ("adr::float_eq", "lib.rs"),
             ("adr::flop_coverage", "lib.rs"),
             ("adr::grad_coverage", "unregistered.rs"),

@@ -41,6 +41,19 @@ impl LshTable {
         Self { hyperplanes }
     }
 
+    /// A degenerate family whose hyperplanes are all zero: every vector
+    /// hashes to signature 0, so all rows collapse into one giant cluster.
+    /// Exists for the fault-injection harness in `adr-core`; never useful
+    /// for real reuse.
+    ///
+    /// # Panics
+    /// Panics under the same bounds as [`LshTable::new`].
+    pub fn constant(dim: usize, num_hashes: usize) -> Self {
+        let mut table = Self::new(dim, num_hashes, &mut AdrRng::seeded(0));
+        table.hyperplanes.as_mut_slice().fill(0.0);
+        table
+    }
+
     /// Vector length `L` this table hashes.
     pub fn dim(&self) -> usize {
         self.hyperplanes.cols()
@@ -299,6 +312,20 @@ mod tests {
     #[should_panic(expected = "num_hashes must be in")]
     fn too_many_hashes_panics() {
         table(4, 65, 11);
+    }
+
+    #[test]
+    fn constant_family_collapses_everything_into_one_cluster() {
+        let mut rng = AdrRng::seeded(12);
+        let data = Matrix::from_fn(100, 6, |_, _| rng.gauss());
+        let t = LshTable::constant(6, 10);
+        let (tab, sigs) = t.cluster(&data);
+        assert_eq!(tab.num_clusters(), 1);
+        assert_eq!(sigs, vec![0]);
+        // Both sign paths (per-row dot and blocked GEMM) agree: > 0.0
+        // fails for an exactly-zero projection.
+        let big = Matrix::from_fn(200, 6, |_, _| 1.0);
+        assert!(t.signatures(&big).iter().all(|&s| s == 0));
     }
 
     #[test]

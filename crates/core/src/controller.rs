@@ -7,13 +7,59 @@
 //! Amendment 3.3 ratio test. When every layer has reached its most precise
 //! setting the controller reports exhaustion and training continues there.
 
-use adr_nn::metrics::PlateauDetector;
+use std::fmt;
+
+use adr_nn::metrics::{PlateauDetector, PlateauState};
 use adr_nn::{Network, Sgd};
 use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::Tensor4;
 
 use crate::candidates::CandidateList;
 use crate::policy::{HRange, LRange};
+
+/// Why a controller could not be built or restored.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The network contains no `ReuseConv2d` layers, so there is nothing
+    /// for the adaptive schedule to drive. Use the dense baseline or a
+    /// fixed strategy instead.
+    NoReuseLayers,
+    /// A checkpointed stage index exceeds this controller's schedule —
+    /// the snapshot was taken under a different configuration.
+    StageOutOfRange {
+        /// Stage recorded in the snapshot.
+        stage: usize,
+        /// Last stage this controller's schedule reaches.
+        max_stage: usize,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoReuseLayers => {
+                write!(f, "network contains no ReuseConv2d layers to drive adaptively")
+            }
+            Self::StageOutOfRange { stage, max_stage } => {
+                write!(f, "snapshot stage {stage} exceeds the schedule's max stage {max_stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+/// The resumable portion of an [`AdaptiveController`]: the stage cursor
+/// and the plateau-detector observation window. The candidate plans are
+/// rebuilt deterministically from the network by
+/// [`AdaptiveController::for_network`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControllerState {
+    /// Global stage index at capture time.
+    pub stage: usize,
+    /// Plateau-detector window at capture time.
+    pub plateau: PlateauState,
+}
 
 /// Candidate schedule for one reuse layer inside a network.
 #[derive(Clone, Debug)]
@@ -40,6 +86,7 @@ pub enum AdvanceOutcome {
 }
 
 /// Drives per-layer `{L, H}` schedules through a training run.
+#[derive(Debug)]
 pub struct AdaptiveController {
     plans: Vec<LayerPlan>,
     stage: usize,
@@ -60,8 +107,9 @@ impl AdaptiveController {
     ///   detector stays quiet (early-phase loss is noise, not a plateau).
     /// * `cluster_reuse` — whether layers should run with `CR = 1`.
     ///
-    /// # Panics
-    /// Panics if the network contains no reuse layers.
+    /// # Errors
+    /// Returns [`ControllerError::NoReuseLayers`] when the network has no
+    /// `ReuseConv2d` layers — there is nothing to drive adaptively.
     pub fn for_network(
         net: &mut Network,
         batch_size: usize,
@@ -70,7 +118,7 @@ impl AdaptiveController {
         min_delta: f32,
         warmup: usize,
         cluster_reuse: bool,
-    ) -> Self {
+    ) -> Result<Self, ControllerError> {
         let mut plans = Vec::new();
         let mut first_conv = true;
         for (idx, layer) in net.layers_mut().iter_mut().enumerate() {
@@ -84,9 +132,10 @@ impl AdaptiveController {
             let candidates = CandidateList::build(&l_range, &h_range, reuse.out_channels());
             plans.push(LayerPlan { layer_index: idx, candidates });
         }
-        assert!(!plans.is_empty(), "network contains no ReuseConv2d layers");
-        let max_stage =
-            plans.iter().map(|p| p.candidates.len()).max().expect("plans is non-empty") - 1;
+        let Some(longest) = plans.iter().map(|p| p.candidates.len()).max() else {
+            return Err(ControllerError::NoReuseLayers);
+        };
+        let max_stage = longest - 1;
         let controller = Self {
             plans,
             stage: 0,
@@ -95,7 +144,50 @@ impl AdaptiveController {
             cluster_reuse,
         };
         controller.apply_stage(net, 0);
-        controller
+        Ok(controller)
+    }
+
+    /// Captures the stage cursor and plateau window for checkpointing.
+    pub fn snapshot(&self) -> ControllerState {
+        ControllerState { stage: self.stage, plateau: self.plateau.snapshot() }
+    }
+
+    /// Restores a snapshotted stage + plateau window and re-applies the
+    /// stage's `{L, H}` to every planned layer.
+    ///
+    /// # Errors
+    /// Returns [`ControllerError::StageOutOfRange`] (without mutating
+    /// anything) when the snapshot does not fit this schedule.
+    pub fn restore(
+        &mut self,
+        net: &mut Network,
+        state: &ControllerState,
+    ) -> Result<(), ControllerError> {
+        if state.stage > self.max_stage {
+            return Err(ControllerError::StageOutOfRange {
+                stage: state.stage,
+                max_stage: self.max_stage,
+            });
+        }
+        self.stage = state.stage;
+        self.plateau.restore(&state.plateau);
+        self.apply_stage(net, self.stage);
+        Ok(())
+    }
+
+    /// Moves one stage towards precision *without* probing — the guardrail
+    /// response to a detected fault ("the current setting destabilised
+    /// training; trade speed for fidelity"). Returns the new stage, or
+    /// `None` when already exhausted (the caller then falls back to the
+    /// exact GEMM path).
+    pub fn tighten(&mut self, net: &mut Network) -> Option<usize> {
+        if self.is_exhausted() {
+            return None;
+        }
+        self.stage += 1;
+        self.apply_stage(net, self.stage);
+        self.plateau.reset();
+        Some(self.stage)
     }
 
     /// Current global stage index.
@@ -259,7 +351,7 @@ mod tests {
     #[test]
     fn controller_discovers_both_reuse_layers() {
         let mut net = reuse_net(1);
-        let c = AdaptiveController::for_network(&mut net, 8, 6, 3, 0.01, 0, false);
+        let c = AdaptiveController::for_network(&mut net, 8, 6, 3, 0.01, 0, false).unwrap();
         assert_eq!(c.plans().len(), 2);
         assert_eq!(c.plans()[0].layer_index, 0);
         assert_eq!(c.plans()[1].layer_index, 2);
@@ -268,7 +360,7 @@ mod tests {
     #[test]
     fn initial_stage_is_most_aggressive() {
         let mut net = reuse_net(2);
-        let c = AdaptiveController::for_network(&mut net, 8, 6, 3, 0.01, 0, false);
+        let c = AdaptiveController::for_network(&mut net, 8, 6, 3, 0.01, 0, false).unwrap();
         for (layer_idx, (l, h)) in c.current_settings() {
             let plan = c.plans().iter().find(|p| p.layer_index == layer_idx).unwrap();
             assert_eq!((l, h), plan.candidates.settings()[0]);
@@ -283,7 +375,7 @@ mod tests {
     #[test]
     fn plateau_detection_fires_on_flat_loss() {
         let mut net = reuse_net(3);
-        let mut c = AdaptiveController::for_network(&mut net, 8, 6, 2, 0.01, 0, false);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 6, 2, 0.01, 0, false).unwrap();
         assert!(!c.observe_loss(1.0));
         assert!(!c.observe_loss(1.0));
         assert!(c.observe_loss(1.0));
@@ -292,7 +384,7 @@ mod tests {
     #[test]
     fn advance_moves_forward_and_eventually_exhausts() {
         let mut net = reuse_net(4);
-        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false).unwrap();
         let (images, labels) = probe(5);
         let mut stages = vec![c.stage()];
         for _ in 0..64 {
@@ -313,7 +405,7 @@ mod tests {
     #[test]
     fn advance_applies_configs_to_layers() {
         let mut net = reuse_net(6);
-        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false).unwrap();
         let (images, labels) = probe(7);
         c.advance(&mut net, &images, &labels, 0.2);
         let settings = c.current_settings();
@@ -325,7 +417,7 @@ mod tests {
     #[test]
     fn set_cluster_reuse_propagates() {
         let mut net = reuse_net(8);
-        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, true);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, true).unwrap();
         let any = net.layers_mut()[0].as_any_mut().unwrap();
         assert!(any.downcast_mut::<ReuseConv2d>().unwrap().config().cluster_reuse);
         c.set_cluster_reuse(&mut net, false);
@@ -334,11 +426,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no ReuseConv2d")]
-    fn dense_only_network_panics() {
+    fn dense_only_network_is_a_typed_error() {
         let mut rng = AdrRng::seeded(9);
         let mut net = Network::new((4, 4, 1));
         net.push(Box::new(Dense::new("fc", 16, 2, &mut rng)));
-        AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false);
+        let err = AdaptiveController::for_network(&mut net, 8, 4, 2, 0.01, 0, false).unwrap_err();
+        assert_eq!(err, ControllerError::NoReuseLayers);
+        assert!(err.to_string().contains("no ReuseConv2d"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_stage_and_plateau() {
+        let mut net = reuse_net(10);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 3, 0.01, 0, false).unwrap();
+        let (images, labels) = probe(11);
+        c.advance(&mut net, &images, &labels, 0.7);
+        c.observe_loss(1.0);
+        c.observe_loss(1.0);
+        let snap = c.snapshot();
+
+        let mut net2 = reuse_net(10);
+        let mut c2 = AdaptiveController::for_network(&mut net2, 8, 4, 3, 0.01, 0, false).unwrap();
+        c2.restore(&mut net2, &snap).unwrap();
+        assert_eq!(c2.stage(), c.stage());
+        assert_eq!(c2.current_settings(), c.current_settings());
+        // Future plateau observations agree (same window).
+        for _ in 0..4 {
+            assert_eq!(c.observe_loss(1.0), c2.observe_loss(1.0));
+        }
+        // And the restored stage was applied to the layers.
+        let any = net2.layers_mut()[0].as_any_mut().unwrap();
+        let cfg = any.downcast_mut::<ReuseConv2d>().unwrap().config();
+        assert_eq!((cfg.sub_vector_len, cfg.num_hashes), c2.current_settings()[0].1);
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_stage() {
+        let mut net = reuse_net(12);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 3, 0.01, 0, false).unwrap();
+        let bad = ControllerState {
+            stage: c.max_stage() + 5,
+            plateau: PlateauState { smoothed: None, best: f32::INFINITY, stale: 0, seen: 0 },
+        };
+        let err = c.restore(&mut net, &bad).unwrap_err();
+        assert!(matches!(err, ControllerError::StageOutOfRange { .. }));
+        assert_eq!(c.stage(), 0, "failed restore must not move the cursor");
+    }
+
+    #[test]
+    fn tighten_walks_to_exhaustion_then_declines() {
+        let mut net = reuse_net(13);
+        let mut c = AdaptiveController::for_network(&mut net, 8, 4, 3, 0.01, 0, false).unwrap();
+        let mut last = 0;
+        while let Some(stage) = c.tighten(&mut net) {
+            assert_eq!(stage, last + 1);
+            last = stage;
+        }
+        assert!(c.is_exhausted());
+        assert_eq!(last, c.max_stage());
+        assert!(c.tighten(&mut net).is_none());
     }
 }

@@ -21,6 +21,13 @@
 //! * [`trainer`] — the training loop wiring strategies into an
 //!   `adr_nn::Network`, with FLOP/time/iteration accounting.
 //! * [`report`] — the per-run summary used to regenerate Table IV.
+//! * [`state`] — full-run snapshots (`TrainState`): crash-safe persistence
+//!   of parameters, momentum, controller cursors, FLOP totals and the
+//!   batch-source position, enabling bitwise-identical resume.
+//! * [`guardrails`] — runtime health checks (non-finite loss/params, loss
+//!   spikes, degenerate clusterings) with rollback + stage tightening.
+//! * [`faults`] — a deterministic fault-injection harness for testing the
+//!   two modules above.
 
 #![warn(missing_docs)]
 // Tests assert on values they just constructed; unwrap there is the idiom.
@@ -28,14 +35,22 @@
 
 pub mod candidates;
 pub mod controller;
+pub mod faults;
+pub mod guardrails;
 pub mod policy;
 pub mod report;
+pub mod state;
 pub mod strategy;
 pub mod trainer;
 
 pub use candidates::CandidateList;
-pub use controller::AdaptiveController;
+pub use controller::{AdaptiveController, ControllerError, ControllerState};
+pub use faults::{FaultKind, FaultPlan};
+pub use guardrails::{Guardrail, GuardrailConfig, GuardrailEvent, GuardrailEventKind};
 pub use policy::{HRange, LRange};
 pub use report::TrainReport;
+pub use state::{StateError, TrainState};
 pub use strategy::{Strategy, StrategyKind};
-pub use trainer::{BatchSource, FnBatchSource, Trainer, TrainerConfig};
+pub use trainer::{
+    BatchSource, CheckpointPolicy, FnBatchSource, TrainError, TrainOptions, Trainer, TrainerConfig,
+};

@@ -4,6 +4,8 @@ use std::time::Duration;
 
 use adr_nn::flops::FlopReport;
 
+use crate::guardrails::GuardrailEvent;
+
 /// A parameter-switch event during an adaptive run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SwitchEvent {
@@ -39,6 +41,12 @@ pub struct TrainReport {
     pub loss_history: Vec<(usize, f32)>,
     /// Sampled `(iteration, probe accuracy)` history.
     pub accuracy_history: Vec<(usize, f32)>,
+    /// Guardrail detections and reactions, in occurrence order (empty when
+    /// guardrails were not armed or nothing went wrong).
+    pub guardrail_events: Vec<GuardrailEvent>,
+    /// True when the run stopped at `halt_after` rather than finishing —
+    /// the kill-and-resume harness's signal that a resume is expected.
+    pub interrupted: bool,
 }
 
 impl TrainReport {
@@ -93,6 +101,12 @@ impl TrainReport {
         for sw in &self.switches {
             s.push_str(&format!("\n  switch @ {}: {}", sw.iteration, sw.description));
         }
+        for ev in &self.guardrail_events {
+            s.push_str(&format!("\n  guardrail @ {}: {:?} — {}", ev.iteration, ev.kind, ev.detail));
+        }
+        if self.interrupted {
+            s.push_str("\n  run interrupted (resumable from its last checkpoint)");
+        }
         s
     }
 }
@@ -114,6 +128,12 @@ mod tests {
             switches: vec![SwitchEvent { iteration: 10, description: "stage 1".into() }],
             loss_history: vec![(0, 2.0), (99, 0.5)],
             accuracy_history: vec![(0, 0.1), (99, 0.9)],
+            guardrail_events: vec![GuardrailEvent {
+                iteration: 42,
+                kind: crate::guardrails::GuardrailEventKind::RolledBack,
+                detail: "restored snapshot @ 25".into(),
+            }],
+            interrupted: false,
         }
     }
 
@@ -142,5 +162,6 @@ mod tests {
         let s = report().summary();
         assert!(s.contains("switch @ 10"));
         assert!(s.contains("iteration 80"));
+        assert!(s.contains("guardrail @ 42"));
     }
 }

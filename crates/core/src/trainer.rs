@@ -1,14 +1,22 @@
-//! The training loop tying strategies, controller and network together.
+//! The training loop tying strategies, controller and network together,
+//! with optional fault tolerance: periodic crash-safe [`TrainState`]
+//! checkpoints, resume, runtime guardrails with rollback, and a
+//! deterministic fault-injection hook.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use adr_nn::durable::{IoFault, NoFaults, RetryPolicy};
 use adr_nn::metrics::{EpochMeter, PlateauDetector};
 use adr_nn::{Network, Sgd};
 use adr_reuse::{ReuseConfig, ReuseConv2d};
 use adr_tensor::Tensor4;
 
-use crate::controller::{AdaptiveController, AdvanceOutcome};
+use crate::controller::{AdaptiveController, AdvanceOutcome, ControllerError};
+use crate::faults::{FaultKind, FaultPlan};
+use crate::guardrails::{Guardrail, GuardrailEvent, GuardrailEventKind};
 use crate::report::{SwitchEvent, TrainReport};
+use crate::state::{StateError, TrainState};
 use crate::strategy::{Strategy, StrategyKind};
 
 /// Supplies labelled training batches plus a held-out probe batch.
@@ -25,6 +33,30 @@ pub trait BatchSource {
 
     /// A fixed held-out batch for probing accuracy.
     fn probe(&mut self) -> (Tensor4, Vec<usize>);
+
+    /// Opaque cursor state persisted into training checkpoints. Sources
+    /// whose `batch(index)` is a pure function of `index` (the common
+    /// case) need no state and keep the empty default.
+    fn snapshot_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores a cursor previously returned by
+    /// [`BatchSource::snapshot_state`].
+    ///
+    /// # Errors
+    /// The default implementation accepts only the empty cursor; stateful
+    /// sources override both methods and validate their own layout.
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "this batch source is stateless but the checkpoint carries {} cursor words",
+                state.len()
+            ))
+        }
+    }
 }
 
 /// Adapts a closure into a [`BatchSource`].
@@ -98,6 +130,77 @@ impl Default for TrainerConfig {
     }
 }
 
+/// Where and how often to persist full [`TrainState`] checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Destination file, written atomically (the previous checkpoint
+    /// survives any failed write).
+    pub path: PathBuf,
+    /// Save cadence in iterations.
+    pub every: usize,
+    /// Retry/backoff policy for transient write failures.
+    pub retry: RetryPolicy,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints to `path` every `every` iterations with default retry.
+    ///
+    /// # Panics
+    /// Panics if `every == 0`.
+    pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        Self { path: path.into(), every, retry: RetryPolicy::default() }
+    }
+}
+
+/// Optional fault-tolerance machinery for one training run. The default
+/// (`TrainOptions::default()`) disables all of it, making
+/// [`Trainer::train`] behave exactly as before.
+#[derive(Default)]
+pub struct TrainOptions<'a> {
+    /// Resume from this state instead of starting fresh. The strategy must
+    /// match and the network must have the same architecture.
+    pub resume: Option<TrainState>,
+    /// Persist periodic checkpoints.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Arm runtime guardrails (NaN / loss-spike / degenerate-cluster
+    /// detection with rollback and stage tightening).
+    pub guardrails: Option<crate::guardrails::GuardrailConfig>,
+    /// Deterministic fault script (tests and chaos drills).
+    pub faults: Option<&'a mut FaultPlan>,
+    /// Stop after this many iterations *of this invocation* and mark the
+    /// report interrupted — simulates a kill for crash-recovery tests.
+    pub halt_after: Option<usize>,
+}
+
+/// Why a training run could not start or continue.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The adaptive controller could not be built or restored.
+    Controller(ControllerError),
+    /// The resume state was rejected (wrong strategy, architecture
+    /// mismatch, or a batch source that refused its cursor).
+    Resume(StateError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Controller(e) => write!(f, "controller setup failed: {e}"),
+            Self::Resume(e) => write!(f, "resume rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Controller(e) => Some(e),
+            Self::Resume(e) => Some(e),
+        }
+    }
+}
+
 /// Runs a strategy-driven training loop over a network.
 pub struct Trainer {
     config: TrainerConfig,
@@ -130,36 +233,73 @@ impl Trainer {
         }
     }
 
-    /// Trains `net` with `strategy` on batches from `source` using `sgd`.
+    /// Runs `f` over every reuse layer.
+    fn for_each_reuse(net: &mut Network, mut f: impl FnMut(&mut ReuseConv2d)) {
+        for layer in net.layers_mut() {
+            if let Some(reuse) = layer.as_any_mut().and_then(|a| a.downcast_mut::<ReuseConv2d>()) {
+                f(reuse);
+            }
+        }
+    }
+
+    /// Trains `net` with `strategy` on batches from `source` using `sgd`,
+    /// with fault tolerance disabled (see [`Trainer::train_with`]).
     ///
-    /// The network must already be built to match the strategy (reuse
-    /// convolutions for reuse strategies, dense for the baseline); model
-    /// builders in `adr-models` handle that.
-    ///
-    /// # Panics
-    /// Panics when an adaptive strategy is used on a network that contains
-    /// no `ReuseConv2d` layers.
+    /// # Errors
+    /// Returns [`TrainError::Controller`] when an adaptive strategy is
+    /// used on a network without reuse layers.
     pub fn train(
         &self,
         net: &mut Network,
         strategy: Strategy,
         source: &mut dyn BatchSource,
         sgd: &mut Sgd,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, TrainError> {
+        self.train_with(net, strategy, source, sgd, TrainOptions::default())
+    }
+
+    /// Trains with optional resume, periodic crash-safe checkpoints,
+    /// guardrails, and fault injection.
+    ///
+    /// The network must already be built to match the strategy (reuse
+    /// convolutions for reuse strategies, dense for the baseline); model
+    /// builders in `adr-models` handle that.
+    ///
+    /// Checkpoints and guardrail snapshots are captured at iteration
+    /// boundaries *after* the periodic probe evaluation, so a resumed run
+    /// replays the exact FLOP trajectory of an uninterrupted one.
+    ///
+    /// # Errors
+    /// Returns [`TrainError::Controller`] when an adaptive strategy is
+    /// used on a network without reuse layers, and [`TrainError::Resume`]
+    /// when `options.resume` does not fit the run (strategy mismatch,
+    /// different architecture, or a rejected batch-source cursor).
+    #[allow(clippy::too_many_lines)]
+    pub fn train_with(
+        &self,
+        net: &mut Network,
+        strategy: Strategy,
+        source: &mut dyn BatchSource,
+        sgd: &mut Sgd,
+        options: TrainOptions<'_>,
+    ) -> Result<TrainReport, TrainError> {
         let cfg = &self.config;
         let batch_size_hint = source.probe().1.len();
 
         // Strategy-specific setup.
         let mut controller = match strategy.kind {
-            StrategyKind::AdaptiveLh => Some(AdaptiveController::for_network(
-                net,
-                batch_size_hint,
-                cfg.max_h_values,
-                cfg.plateau_patience,
-                cfg.plateau_min_delta,
-                cfg.plateau_warmup,
-                false,
-            )),
+            StrategyKind::AdaptiveLh => Some(
+                AdaptiveController::for_network(
+                    net,
+                    batch_size_hint,
+                    cfg.max_h_values,
+                    cfg.plateau_patience,
+                    cfg.plateau_min_delta,
+                    cfg.plateau_warmup,
+                    false,
+                )
+                .map_err(TrainError::Controller)?,
+            ),
             StrategyKind::FixedLh { l, h } => {
                 Self::apply_fixed(net, l, h, false);
                 None
@@ -179,51 +319,204 @@ impl Trainer {
             });
         let mut cr_active = matches!(strategy.kind, StrategyKind::ClusterReuseSchedule { .. });
 
-        net.reset_flops();
+        let mut running = EpochMeter::new();
+        let mut start_iter = 0;
+
+        // Resume: validate everything before the first mutation, then
+        // restore model, optimiser, controller cursors and source cursor.
+        if let Some(state) = &options.resume {
+            state.verify_strategy(strategy).map_err(TrainError::Resume)?;
+            state.restore_model(net, sgd).map_err(TrainError::Resume)?;
+            if let (Some(ctrl), Some(cs)) = (controller.as_mut(), state.controller.as_ref()) {
+                ctrl.restore(net, cs).map_err(TrainError::Controller)?;
+            }
+            if let (Some(det), Some(ps)) = (cr_plateau.as_mut(), state.cr_plateau.as_ref()) {
+                det.restore(ps);
+            }
+            if let Some(active) = state.cr_active {
+                cr_active = active;
+                if !active {
+                    if let StrategyKind::ClusterReuseSchedule { l, h } = strategy.kind {
+                        Self::apply_fixed(net, l, h, false);
+                    }
+                }
+            }
+            running.restore(&state.meter);
+            source
+                .restore_state(&state.source_state)
+                .map_err(|e| TrainError::Resume(StateError::SourceState(e)))?;
+            start_iter = state.iteration;
+        } else {
+            net.reset_flops();
+        }
+
         let (probe_images, probe_labels) = source.probe();
         let mut switches = Vec::new();
         let mut loss_history = Vec::new();
         let mut accuracy_history = Vec::new();
         let mut iterations_to_target = None;
-        let mut running = EpochMeter::new();
+        let mut guardrail_events: Vec<GuardrailEvent> = Vec::new();
+        let mut interrupted = false;
         let history_stride = (cfg.max_iterations / cfg.history_samples.max(1)).max(1);
 
+        let mut faults = options.faults;
+        let mut guardrail = options.guardrails.map(Guardrail::new);
+        let mut disarm_logged = false;
+        // The rollback target: the last state known healthy.
+        let mut last_good = guardrail.as_ref().map(|_| {
+            Self::capture_state(
+                net,
+                sgd,
+                strategy,
+                start_iter,
+                controller.as_ref(),
+                cr_plateau.as_ref(),
+                cr_active,
+                &running,
+                source,
+            )
+        });
+
         let start = Instant::now();
-        let mut iterations_run = 0;
-        for iter in 0..cfg.max_iterations {
+        let mut iterations_run = start_iter;
+        let mut iter = start_iter;
+        while iter < cfg.max_iterations {
             iterations_run = iter + 1;
-            let (images, labels) = source.batch(iter % source.num_batches());
+            let (mut images, labels) = source.batch(iter % source.num_batches());
+
+            // Scheduled fault injection (one-shot per fault).
+            if let Some(plan) = faults.as_deref_mut() {
+                for kind in plan.take_due(iter) {
+                    let detail = Self::apply_fault(net, &mut images, kind);
+                    guardrail_events.push(GuardrailEvent {
+                        iteration: iter,
+                        kind: GuardrailEventKind::FaultInjected,
+                        detail,
+                    });
+                }
+            }
+
             let step = net.train_batch(&images, &labels, sgd);
             running.record(step.loss, step.correct, step.batch_size);
             if iter % history_stride == 0 {
                 loss_history.push((iter, step.loss));
             }
 
+            // Guardrails: detect, roll back, tighten.
+            if let Some(g) = guardrail.as_mut() {
+                if let Some((kind, detail)) = g.check(step.loss, net) {
+                    guardrail_events.push(GuardrailEvent { iteration: iter, kind, detail });
+                    if g.disarmed() {
+                        if !disarm_logged {
+                            disarm_logged = true;
+                            guardrail_events.push(GuardrailEvent {
+                                iteration: iter,
+                                kind: GuardrailEventKind::GuardrailsDisarmed,
+                                detail: format!(
+                                    "rollback budget ({}) spent; continuing unguarded",
+                                    g.config().max_rollbacks
+                                ),
+                            });
+                        }
+                    } else if let Some(state) = last_good.clone() {
+                        g.note_rollback();
+                        state.restore_model(net, sgd).map_err(TrainError::Resume)?;
+                        if let (Some(ctrl), Some(cs)) =
+                            (controller.as_mut(), state.controller.as_ref())
+                        {
+                            ctrl.restore(net, cs).map_err(TrainError::Controller)?;
+                        }
+                        if let (Some(det), Some(ps)) =
+                            (cr_plateau.as_mut(), state.cr_plateau.as_ref())
+                        {
+                            det.restore(ps);
+                        }
+                        if let Some(active) = state.cr_active {
+                            cr_active = active;
+                        }
+                        running.restore(&state.meter);
+                        source
+                            .restore_state(&state.source_state)
+                            .map_err(|e| TrainError::Resume(StateError::SourceState(e)))?;
+                        // Injected degenerate LSH families live outside the
+                        // snapshot; rebuild them from the (restored) config.
+                        Self::for_each_reuse(net, ReuseConv2d::rebuild_families);
+                        guardrail_events.push(GuardrailEvent {
+                            iteration: iter,
+                            kind: GuardrailEventKind::RolledBack,
+                            detail: format!("restored snapshot @ {}", state.iteration),
+                        });
+
+                        // Tighten one stage toward exact computation.
+                        let tightened = controller
+                            .as_mut()
+                            .and_then(|ctrl| ctrl.tighten(net).map(|s| (s, ctrl.max_stage())));
+                        match tightened {
+                            Some((stage, max_stage)) => {
+                                guardrail_events.push(GuardrailEvent {
+                                    iteration: iter,
+                                    kind: GuardrailEventKind::StageTightened,
+                                    detail: format!("stage {stage}/{max_stage}"),
+                                });
+                            }
+                            None => {
+                                Self::for_each_reuse(net, ReuseConv2d::exact_fallback);
+                                guardrail_events.push(GuardrailEvent {
+                                    iteration: iter,
+                                    kind: GuardrailEventKind::ExactFallback,
+                                    detail: "all reuse layers switched to exact im2col GEMM".into(),
+                                });
+                            }
+                        }
+
+                        // The snapshot now reflects the tightened knobs, so
+                        // a second trip through the same fault does not
+                        // re-loosen them.
+                        last_good = Some(Self::capture_state(
+                            net,
+                            sgd,
+                            strategy,
+                            state.iteration,
+                            controller.as_ref(),
+                            cr_plateau.as_ref(),
+                            cr_active,
+                            &running,
+                            source,
+                        ));
+                        iter = state.iteration;
+                        continue;
+                    }
+                }
+            }
+
             // Strategy-specific plateau handling.
             match strategy.kind {
+                // The controller/detector is always `Some` for its own
+                // strategy (set up above); `if let` keeps the training
+                // loop panic-free regardless.
                 StrategyKind::AdaptiveLh => {
-                    let ctrl = controller.as_mut().expect("adaptive controller exists");
-                    if ctrl.observe_loss(step.loss) && !ctrl.is_exhausted() {
-                        let train_acc = running.accuracy();
-                        match ctrl.advance(net, &probe_images, &probe_labels, train_acc) {
-                            AdvanceOutcome::Switched { stage, rule } => {
-                                switches.push(SwitchEvent {
-                                    iteration: iter,
-                                    description: format!(
-                                        "stage {stage}/{} (rule {rule}): {:?}",
-                                        ctrl.max_stage(),
-                                        ctrl.current_settings()
-                                    ),
-                                });
-                                running.reset();
+                    if let Some(ctrl) = controller.as_mut() {
+                        if ctrl.observe_loss(step.loss) && !ctrl.is_exhausted() {
+                            let train_acc = running.accuracy();
+                            match ctrl.advance(net, &probe_images, &probe_labels, train_acc) {
+                                AdvanceOutcome::Switched { stage, rule } => {
+                                    switches.push(SwitchEvent {
+                                        iteration: iter,
+                                        description: format!(
+                                            "stage {stage}/{} (rule {rule}): {:?}",
+                                            ctrl.max_stage(),
+                                            ctrl.current_settings()
+                                        ),
+                                    });
+                                    running.reset();
+                                }
+                                AdvanceOutcome::Exhausted => {}
                             }
-                            AdvanceOutcome::Exhausted => {}
                         }
                     }
                 }
                 StrategyKind::ClusterReuseSchedule { l, h } => {
-                    if cr_active {
-                        let det = cr_plateau.as_mut().expect("CR plateau detector exists");
+                    if let (true, Some(det)) = (cr_active, cr_plateau.as_mut()) {
                         if det.observe(step.loss) {
                             Self::apply_fixed(net, l, h, false);
                             cr_active = false;
@@ -238,21 +531,78 @@ impl Trainer {
             }
 
             // Periodic probe evaluation + target stop rule.
-            if (iter + 1) % cfg.eval_every == 0 {
+            let boundary = iter + 1;
+            if boundary % cfg.eval_every == 0 {
                 let eval = net.evaluate(&probe_images, &probe_labels);
                 accuracy_history.push((iter, eval.accuracy));
                 if let Some(target) = cfg.target_accuracy {
                     if eval.accuracy >= target && iterations_to_target.is_none() {
-                        iterations_to_target = Some(iter + 1);
+                        iterations_to_target = Some(boundary);
                         break;
                     }
                 }
             }
+
+            // Snapshots come after the eval so that a resumed run's FLOP
+            // counters match an uninterrupted run bit for bit.
+            if let Some(g) = guardrail.as_ref() {
+                if boundary % g.config().snapshot_every == 0 {
+                    last_good = Some(Self::capture_state(
+                        net,
+                        sgd,
+                        strategy,
+                        boundary,
+                        controller.as_ref(),
+                        cr_plateau.as_ref(),
+                        cr_active,
+                        &running,
+                        source,
+                    ));
+                }
+            }
+            if let Some(policy) = &options.checkpoint {
+                if boundary % policy.every == 0 {
+                    let state = Self::capture_state(
+                        net,
+                        sgd,
+                        strategy,
+                        boundary,
+                        controller.as_ref(),
+                        cr_plateau.as_ref(),
+                        cr_active,
+                        &running,
+                        source,
+                    );
+                    let mut no_faults = NoFaults;
+                    let sink: &mut dyn IoFault = match faults.as_deref_mut() {
+                        Some(plan) => plan,
+                        None => &mut no_faults,
+                    };
+                    if let Err(e) = state.save_with(&policy.path, policy.retry, sink) {
+                        guardrail_events.push(GuardrailEvent {
+                            iteration: iter,
+                            kind: GuardrailEventKind::CheckpointWriteFailed,
+                            detail: format!(
+                                "{e} (previous checkpoint at {} still valid)",
+                                policy.path.display()
+                            ),
+                        });
+                    }
+                }
+            }
+
+            if let Some(halt) = options.halt_after {
+                if boundary - start_iter >= halt {
+                    interrupted = true;
+                    break;
+                }
+            }
+            iter = boundary;
         }
         let wall_time = start.elapsed();
 
         let final_eval = net.evaluate(&probe_images, &probe_labels);
-        TrainReport {
+        Ok(TrainReport {
             strategy: strategy.name().to_string(),
             iterations_run,
             iterations_to_target,
@@ -264,6 +614,65 @@ impl Trainer {
             switches,
             loss_history,
             accuracy_history,
+            guardrail_events,
+            interrupted,
+        })
+    }
+
+    /// Captures a complete [`TrainState`] for `iteration`.
+    #[allow(clippy::too_many_arguments)]
+    fn capture_state(
+        net: &mut Network,
+        sgd: &Sgd,
+        strategy: Strategy,
+        iteration: usize,
+        controller: Option<&AdaptiveController>,
+        cr_plateau: Option<&PlateauDetector>,
+        cr_active: bool,
+        running: &EpochMeter,
+        source: &dyn BatchSource,
+    ) -> TrainState {
+        let mut state = TrainState::capture(net, sgd, strategy, iteration);
+        state.controller = controller.map(AdaptiveController::snapshot);
+        state.cr_plateau = cr_plateau.map(PlateauDetector::snapshot);
+        state.cr_active =
+            matches!(strategy.kind, StrategyKind::ClusterReuseSchedule { .. }).then_some(cr_active);
+        state.meter = running.snapshot();
+        state.source_state = source.snapshot_state();
+        state
+    }
+
+    /// Applies one injected fault; returns the report detail line.
+    fn apply_fault(net: &mut Network, images: &mut Tensor4, kind: FaultKind) -> String {
+        match kind {
+            FaultKind::NanActivations => {
+                images.as_mut_slice()[0] = f32::NAN;
+                "NaN written into batch activations".into()
+            }
+            FaultKind::InfActivations => {
+                images.as_mut_slice()[0] = f32::INFINITY;
+                "Inf written into batch activations".into()
+            }
+            FaultKind::NanWeights => {
+                for layer in net.layers_mut() {
+                    let name = layer.name().to_string();
+                    if let Some(p) = layer.params_mut().into_iter().next() {
+                        if let Some(w) = p.data.first_mut() {
+                            *w = f32::NAN;
+                            return format!("NaN written into weights of layer {name}");
+                        }
+                    }
+                }
+                "NaN weight fault found no parameters to poison".into()
+            }
+            FaultKind::DegenerateClusters(mode) => {
+                let mut hit = 0usize;
+                Self::for_each_reuse(net, |reuse| {
+                    reuse.inject_degenerate_clustering(mode);
+                    hit += 1;
+                });
+                format!("{mode:?} clustering injected into {hit} reuse layer(s)")
+            }
         }
     }
 }
@@ -349,6 +758,10 @@ mod tests {
         let (p_images, p_labels) = source.probe();
         assert_eq!(p_images.as_slice(), probe.0.as_slice());
         assert_eq!(p_labels, probe.1);
+        // Stateless by default: empty cursor round-trips, non-empty fails.
+        assert!(source.snapshot_state().is_empty());
+        assert!(source.restore_state(&[]).is_ok());
+        assert!(source.restore_state(&[1]).is_err());
     }
 
     #[test]
@@ -364,10 +777,12 @@ mod tests {
         let mut net = dense_net(1);
         let mut source = toy_source(10);
         let mut sgd = Sgd::constant(0.05);
-        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd);
+        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd).unwrap();
         assert!(report.final_accuracy > 0.8, "accuracy {}", report.final_accuracy);
         assert_eq!(report.actual_flops, report.baseline_flops);
         assert!(report.switches.is_empty());
+        assert!(report.guardrail_events.is_empty());
+        assert!(!report.interrupted);
     }
 
     #[test]
@@ -376,7 +791,7 @@ mod tests {
         let mut net = reuse_net(2);
         let mut source = toy_source(20);
         let mut sgd = Sgd::constant(0.05);
-        let report = trainer.train(&mut net, Strategy::fixed(3, 6), &mut source, &mut sgd);
+        let report = trainer.train(&mut net, Strategy::fixed(3, 6), &mut source, &mut sgd).unwrap();
         assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
         assert!(
             report.actual_flops.total() < report.baseline_flops.total(),
@@ -395,9 +810,19 @@ mod tests {
         let mut net = reuse_net(3);
         let mut source = toy_source(30);
         let mut sgd = Sgd::constant(0.05);
-        let report = trainer.train(&mut net, Strategy::adaptive(), &mut source, &mut sgd);
+        let report = trainer.train(&mut net, Strategy::adaptive(), &mut source, &mut sgd).unwrap();
         assert!(!report.switches.is_empty(), "adaptive run should switch at least once");
         assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+    }
+
+    #[test]
+    fn adaptive_strategy_needs_reuse_layers() {
+        let trainer = Trainer::new(quick_config());
+        let mut net = dense_net(7);
+        let mut source = toy_source(70);
+        let mut sgd = Sgd::constant(0.05);
+        let err = trainer.train(&mut net, Strategy::adaptive(), &mut source, &mut sgd).unwrap_err();
+        assert!(matches!(err, TrainError::Controller(ControllerError::NoReuseLayers)), "{err}");
     }
 
     #[test]
@@ -411,7 +836,8 @@ mod tests {
         let mut net = reuse_net(4);
         let mut source = toy_source(40);
         let mut sgd = Sgd::constant(0.05);
-        let report = trainer.train(&mut net, Strategy::cluster_reuse(3, 6), &mut source, &mut sgd);
+        let report =
+            trainer.train(&mut net, Strategy::cluster_reuse(3, 6), &mut source, &mut sgd).unwrap();
         let cr_switches: Vec<_> = report
             .switches
             .iter()
@@ -430,7 +856,7 @@ mod tests {
         let mut net = dense_net(5);
         let mut source = toy_source(50);
         let mut sgd = Sgd::constant(0.05);
-        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd);
+        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd).unwrap();
         assert!(report.iterations_to_target.is_some());
         assert!(report.iterations_run < 2000);
     }
@@ -441,9 +867,129 @@ mod tests {
         let mut net = dense_net(6);
         let mut source = toy_source(60);
         let mut sgd = Sgd::constant(0.05);
-        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd);
+        let report = trainer.train(&mut net, Strategy::baseline(), &mut source, &mut sgd).unwrap();
         assert!(!report.loss_history.is_empty());
         assert!(!report.accuracy_history.is_empty());
         assert!(report.loss_history.len() <= 256 + 1);
+    }
+
+    #[test]
+    fn halt_after_interrupts_and_resume_matches_uninterrupted() {
+        let cfg = TrainerConfig { max_iterations: 40, ..quick_config() };
+        let trainer = Trainer::new(cfg);
+        let mut sgd_a = Sgd::constant(0.05);
+        let mut net_a = dense_net(8);
+        let mut source_a = toy_source(80);
+        let full =
+            trainer.train(&mut net_a, Strategy::baseline(), &mut source_a, &mut sgd_a).unwrap();
+
+        // Interrupted twin: halt at 20, capture, resume to the end.
+        let mut sgd_b = Sgd::constant(0.05);
+        let mut net_b = dense_net(8);
+        let mut source_b = toy_source(80);
+        let dir = std::env::temp_dir().join("adr_trainer_halt_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state.bin");
+        let first = trainer
+            .train_with(
+                &mut net_b,
+                Strategy::baseline(),
+                &mut source_b,
+                &mut sgd_b,
+                TrainOptions {
+                    checkpoint: Some(CheckpointPolicy::new(&ckpt, 10)),
+                    halt_after: Some(20),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(first.interrupted);
+        assert_eq!(first.iterations_run, 20);
+
+        // Fresh process simulation: new net/sgd, state from disk.
+        let state = TrainState::load(&ckpt).unwrap();
+        assert_eq!(state.iteration, 20);
+        let mut sgd_c = Sgd::constant(0.05);
+        let mut net_c = dense_net(8);
+        let mut source_c = toy_source(80);
+        let resumed = trainer
+            .train_with(
+                &mut net_c,
+                Strategy::baseline(),
+                &mut source_c,
+                &mut sgd_c,
+                TrainOptions { resume: Some(state), ..Default::default() },
+            )
+            .unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.iterations_run, full.iterations_run);
+
+        // Bitwise-identical weights and FLOP counters.
+        let w_full = TrainState::capture(&mut net_a, &sgd_a, Strategy::baseline(), 40);
+        let w_res = TrainState::capture(&mut net_c, &sgd_c, Strategy::baseline(), 40);
+        assert_eq!(w_full.params, w_res.params);
+        assert_eq!(w_full.velocity, w_res.velocity);
+        assert_eq!(w_full.flops, w_res.flops);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_wrong_strategy() {
+        let trainer = Trainer::new(quick_config());
+        let mut net = dense_net(9);
+        let mut sgd = Sgd::constant(0.05);
+        let state = TrainState::capture(&mut net, &sgd, Strategy::fixed(3, 6), 10);
+        let mut source = toy_source(90);
+        let err = trainer
+            .train_with(
+                &mut net,
+                Strategy::baseline(),
+                &mut source,
+                &mut sgd,
+                TrainOptions { resume: Some(state), ..Default::default() },
+            )
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Resume(StateError::StrategyMismatch { .. })), "{err}");
+    }
+
+    // Under `--features checked` the invariant layer panics on the injected
+    // NaN before the guardrail can see it; the rollback path is exercised
+    // in the default configuration.
+    #[cfg(not(feature = "checked"))]
+    #[test]
+    fn guardrail_rolls_back_and_tightens_on_injected_nan() {
+        let trainer = Trainer::new(TrainerConfig { max_iterations: 60, ..quick_config() });
+        let mut net = reuse_net(11);
+        let mut source = toy_source(110);
+        let mut sgd = Sgd::constant(0.05);
+        let mut plan = FaultPlan::new().inject_at(30, FaultKind::NanWeights);
+        let report = trainer
+            .train_with(
+                &mut net,
+                Strategy::fixed(3, 6),
+                &mut source,
+                &mut sgd,
+                TrainOptions {
+                    guardrails: Some(crate::guardrails::GuardrailConfig {
+                        snapshot_every: 10,
+                        ..Default::default()
+                    }),
+                    faults: Some(&mut plan),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let kinds: Vec<_> = report.guardrail_events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&GuardrailEventKind::FaultInjected), "{kinds:?}");
+        assert!(kinds.contains(&GuardrailEventKind::NonFiniteParams), "{kinds:?}");
+        assert!(kinds.contains(&GuardrailEventKind::RolledBack), "{kinds:?}");
+        assert!(
+            kinds.contains(&GuardrailEventKind::ExactFallback),
+            "fixed strategy has no controller; tightening must land on exact fallback: {kinds:?}"
+        );
+        // The run recovered: weights are finite and the model still learned.
+        let recaptured = TrainState::capture(&mut net, &sgd, Strategy::fixed(3, 6), 0);
+        assert!(recaptured.params.iter().flatten().all(|v| v.is_finite()));
+        assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
     }
 }

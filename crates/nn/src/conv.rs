@@ -188,6 +188,10 @@ impl Layer for Conv2d {
         self.meter.reset();
     }
 
+    fn restore_flops(&mut self, actual: FlopReport, baseline: FlopReport) {
+        self.meter.restore(actual, baseline);
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }

@@ -160,6 +160,10 @@ impl Layer for Dense {
     fn reset_flops(&mut self) {
         self.meter.reset();
     }
+
+    fn restore_flops(&mut self, actual: FlopReport, baseline: FlopReport) {
+        self.meter.restore(actual, baseline);
+    }
 }
 
 #[cfg(test)]

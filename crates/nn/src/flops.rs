@@ -79,6 +79,13 @@ impl FlopMeter {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Overwrites both counters (checkpoint resume): resumed runs report
+    /// the same cumulative savings as an uninterrupted run.
+    pub fn restore(&mut self, actual: FlopReport, baseline: FlopReport) {
+        self.actual = actual;
+        self.baseline = baseline;
+    }
 }
 
 #[cfg(test)]

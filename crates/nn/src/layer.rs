@@ -95,6 +95,11 @@ pub trait Layer {
     /// Resets FLOP counters.
     fn reset_flops(&mut self) {}
 
+    /// Overwrites FLOP counters with checkpointed totals so a resumed run
+    /// reports the same cumulative work as an uninterrupted one. Layers
+    /// without meters keep the no-op default.
+    fn restore_flops(&mut self, _actual: FlopReport, _baseline: FlopReport) {}
+
     /// Non-learnable state that must survive checkpointing (e.g. batch
     /// normalisation's running statistics). Buffers must be returned in a
     /// stable order. Stateless layers keep the empty default.

@@ -29,6 +29,7 @@ pub mod checkpoint;
 pub mod conv;
 pub mod dense;
 pub mod dropout;
+pub mod durable;
 pub mod flops;
 pub mod init;
 pub mod layer;
@@ -41,7 +42,7 @@ pub mod relu;
 pub mod sgd;
 pub mod softmax;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use flops::{FlopMeter, FlopReport};
 pub use layer::{Layer, Mode, ParamRefMut, Shape3};
 pub use network::Network;

@@ -37,6 +37,11 @@ impl RunningMean {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    /// Overwrites the smoothed value (checkpoint resume).
+    pub fn restore(&mut self, value: Option<f32>) {
+        self.value = value;
+    }
 }
 
 /// Detects when a (noisy) loss series stops decreasing.
@@ -116,6 +121,40 @@ impl PlateauDetector {
         self.stale = 0;
         self.seen = 0;
     }
+
+    /// Captures the mutable detector state for checkpointing; the
+    /// configuration (`patience`, `warmup`, `min_delta`) is rebuilt by
+    /// code, only the observation window needs to survive a restart.
+    pub fn snapshot(&self) -> PlateauState {
+        PlateauState {
+            smoothed: self.smoothed.get(),
+            best: self.best,
+            stale: self.stale,
+            seen: self.seen,
+        }
+    }
+
+    /// Restores a previously snapshotted observation window.
+    pub fn restore(&mut self, state: &PlateauState) {
+        self.smoothed.restore(state.smoothed);
+        self.best = state.best;
+        self.stale = state.stale;
+        self.seen = state.seen;
+    }
+}
+
+/// The resumable portion of a [`PlateauDetector`]: everything `observe`
+/// mutates, excluding the code-supplied configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlateauState {
+    /// Smoothed loss, if any observation has been fed.
+    pub smoothed: Option<f32>,
+    /// Best smoothed loss seen this phase.
+    pub best: f32,
+    /// Consecutive non-improving observations.
+    pub stale: usize,
+    /// Observations fed this phase.
+    pub seen: usize,
 }
 
 /// Accumulates per-batch loss/accuracy into epoch summaries.
@@ -176,6 +215,37 @@ impl EpochMeter {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Captures the accumulator state for checkpointing.
+    pub fn snapshot(&self) -> EpochMeterState {
+        EpochMeterState {
+            loss_sum: self.loss_sum,
+            hits: self.hits,
+            examples: self.examples,
+            batches: self.batches,
+        }
+    }
+
+    /// Restores a previously snapshotted accumulator.
+    pub fn restore(&mut self, state: &EpochMeterState) {
+        self.loss_sum = state.loss_sum;
+        self.hits = state.hits;
+        self.examples = state.examples;
+        self.batches = state.batches;
+    }
+}
+
+/// The resumable accumulator state of an [`EpochMeter`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochMeterState {
+    /// Sum of per-batch mean losses (f64 for summation precision).
+    pub loss_sum: f64,
+    /// Correctly classified examples.
+    pub hits: usize,
+    /// Examples seen.
+    pub examples: usize,
+    /// Batches recorded.
+    pub batches: usize,
 }
 
 #[cfg(test)]
@@ -248,6 +318,35 @@ mod tests {
             assert!(!d.observe(1.0), "fired during warmup at {i}");
         }
         assert!(d.observe(1.0), "should fire right after warmup on a flat series");
+    }
+
+    #[test]
+    fn plateau_snapshot_restore_resumes_identically() {
+        let mut a = PlateauDetector::new(3, 0.01);
+        for i in 0..7 {
+            a.observe(2.0 - 0.05 * i as f32);
+        }
+        let snap = a.snapshot();
+        let mut b = PlateauDetector::new(3, 0.01);
+        b.restore(&snap);
+        // Both detectors must now agree on every future observation.
+        for _ in 0..6 {
+            assert_eq!(a.observe(1.7), b.observe(1.7));
+            assert_eq!(a.stale_count(), b.stale_count());
+        }
+    }
+
+    #[test]
+    fn epoch_meter_snapshot_round_trips() {
+        let mut m = EpochMeter::new();
+        m.record(1.5, 4, 8);
+        m.record(0.5, 6, 8);
+        let snap = m.snapshot();
+        let mut back = EpochMeter::new();
+        back.restore(&snap);
+        assert_eq!(back.mean_loss().to_bits(), m.mean_loss().to_bits());
+        assert_eq!(back.accuracy().to_bits(), m.accuracy().to_bits());
+        assert_eq!(back.examples(), m.examples());
     }
 
     #[test]

@@ -84,6 +84,12 @@ impl Sgd {
         self.step
     }
 
+    /// Overwrites the step counter (checkpoint resume): the learning-rate
+    /// schedule continues exactly where the interrupted run left off.
+    pub fn set_step_count(&mut self, step: usize) {
+        self.step = step;
+    }
+
     /// Learning rate the *next* update will use.
     pub fn current_lr(&self) -> f32 {
         self.schedule.at(self.step)

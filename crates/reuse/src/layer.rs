@@ -16,7 +16,7 @@ use crate::cost::{training_step_cost, CostParams};
 use crate::forward::reuse_forward;
 use crate::stats::ReuseStats;
 use crate::subvec::SubVecSplit;
-use crate::{ClusterScope, ReuseConfig};
+use crate::{ClusterScope, DegenerateClustering, ReuseConfig};
 
 /// Forward-pass state the backward pass consumes (§IV: the backward pass
 /// reuses the forward clustering instead of re-clustering).
@@ -164,6 +164,61 @@ impl ReuseConv2d {
     /// Convenience wrapper over [`ReuseConv2d::set_config`].
     pub fn set_reuse_params(&mut self, l: usize, h: usize, cluster_reuse: bool) {
         self.set_config(ReuseConfig::new(l, h, cluster_reuse));
+    }
+
+    /// Rebuilds the LSH families and caches from the current config — the
+    /// repair step after [`ReuseConv2d::inject_degenerate_clustering`].
+    /// Unlike [`ReuseConv2d::set_config`] (which early-returns when the
+    /// config is unchanged) this always re-derives the families, so it also
+    /// clears injected corruption under an identical `{L, H, CR}`.
+    pub fn rebuild_families(&mut self) {
+        self.rebuild_for_config();
+    }
+
+    /// Deterministically corrupts the LSH families to one of the two
+    /// clustering failure extremes, leaving the configured `{L, H, CR}`
+    /// untouched — exactly what a memory fault or a buggy family rebuild
+    /// would look like to the rest of the system. Guardrails detect both:
+    /// all-singleton via `avg_clusters > 2^H` (impossible under the
+    /// configured family) and one-giant via a collapsed remaining ratio.
+    /// Repair with [`ReuseConv2d::rebuild_families`].
+    pub fn inject_degenerate_clustering(&mut self, mode: DegenerateClustering) {
+        self.lsh = self
+            .split
+            .ranges()
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| match mode {
+                DegenerateClustering::AllSingleton => {
+                    // Maximally fine families: 64 hashes make collisions
+                    // between distinct rows vanishingly unlikely.
+                    let mix =
+                        self.lsh_seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(i as u64);
+                    LshTable::new(b - a, 64, &mut AdrRng::seeded(mix))
+                }
+                DegenerateClustering::OneGiantCluster => {
+                    LshTable::constant(b - a, self.config.num_hashes)
+                }
+            })
+            .collect();
+        // Old signatures are meaningless under the corrupted families.
+        self.caches = if self.config.cluster_reuse {
+            (0..self.split.num_sub_vectors()).map(|_| ReuseCache::new(self.out_channels)).collect()
+        } else {
+            Vec::new()
+        };
+        self.cached = None;
+    }
+
+    /// Drops to the exact im2col GEMM path: one full-width sub-vector and
+    /// maximally fine hashing, so every distinct row is its own cluster and
+    /// each centroid *is* its row — the guardrails' last resort when
+    /// tightening runs out of reuse stages.
+    pub fn exact_fallback(&mut self) {
+        self.set_config(ReuseConfig::new(self.geom.k(), 64, false));
+        // An injected-fault rollback may land here with the config already
+        // exact; force clean families either way.
+        self.rebuild_for_config();
     }
 
     /// The layer's convolution geometry.
@@ -366,6 +421,10 @@ impl Layer for ReuseConv2d {
 
     fn reset_flops(&mut self) {
         self.meter.reset();
+    }
+
+    fn restore_flops(&mut self, actual: FlopReport, baseline: FlopReport) {
+        self.meter.restore(actual, baseline);
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
@@ -577,6 +636,65 @@ mod tests {
         // The model counts the same terms the meter counts; allow slack for
         // the H/M hashing term granularity.
         assert!((model - measured).abs() < 0.35, "model {model} vs measured {measured}");
+    }
+
+    #[test]
+    fn injected_one_giant_cluster_collapses_remaining_ratio() {
+        let mut layer = reuse_layer(9, 8, false, 40);
+        let mut rng = AdrRng::seeded(41);
+        let x = Tensor4::from_fn(2, 6, 6, 2, |_, _, _, _| rng.gauss());
+        layer.forward(&x, Mode::Eval);
+        let healthy_rc = layer.stats().avg_remaining_ratio;
+        layer.inject_degenerate_clustering(DegenerateClustering::OneGiantCluster);
+        layer.forward(&x, Mode::Eval);
+        let broken = layer.stats();
+        assert!((broken.avg_clusters - 1.0).abs() < 1e-9, "clusters {}", broken.avg_clusters);
+        assert!(broken.avg_remaining_ratio < 0.05, "rc {}", broken.avg_remaining_ratio);
+        // Repair restores the exact healthy clustering (same derived seed).
+        layer.rebuild_families();
+        layer.forward(&x, Mode::Eval);
+        assert_eq!(layer.stats().avg_remaining_ratio.to_bits(), healthy_rc.to_bits());
+    }
+
+    #[test]
+    fn injected_all_singleton_exceeds_the_configured_family_capacity() {
+        // H = 4 caps legitimate clustering at 2^4 = 16 clusters; the
+        // corrupted family blows past that — the guardrail's signal.
+        let mut layer = reuse_layer(9, 4, false, 42);
+        let mut rng = AdrRng::seeded(43);
+        let x = Tensor4::from_fn(4, 6, 6, 2, |_, _, _, _| rng.gauss());
+        layer.forward(&x, Mode::Eval);
+        assert!(layer.stats().avg_clusters <= 16.0);
+        layer.inject_degenerate_clustering(DegenerateClustering::AllSingleton);
+        layer.forward(&x, Mode::Eval);
+        let stats = layer.stats();
+        assert!(stats.avg_clusters > 16.0, "clusters {}", stats.avg_clusters);
+    }
+
+    #[test]
+    fn exact_fallback_matches_dense_conv_bitwise_per_output() {
+        let mut rng = AdrRng::seeded(44);
+        let dense_proto = Conv2d::new("c", geom(), 4, &mut rng);
+        let mut layer =
+            ReuseConv2d::from_dense(&dense_proto, ReuseConfig::new(6, 4, false), &mut rng);
+        let mut dense = Conv2d::new("c", geom(), 4, &mut AdrRng::seeded(44));
+        let mut xrng = AdrRng::seeded(45);
+        let x = Tensor4::from_fn(2, 6, 6, 2, |_, _, _, _| xrng.gauss());
+        layer.exact_fallback();
+        assert_eq!(layer.config().sub_vector_len, 18);
+        assert_eq!(layer.config().num_hashes, 64);
+        let y_reuse = layer.forward(&x, Mode::Eval);
+        let y_dense = dense.forward(&x, Mode::Eval);
+        // Gaussian rows are distinct, so 64-bit signatures are singletons,
+        // each centroid is its own row, and the GEMM is the dense GEMM.
+        let max_diff = y_reuse
+            .as_slice()
+            .iter()
+            .zip(y_dense.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-4, "max diff {max_diff}");
+        assert!((layer.stats().avg_remaining_ratio - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -55,6 +55,21 @@ pub mod subvec;
 pub use layer::ReuseConv2d;
 pub use stats::ReuseStats;
 
+/// Ways the fault-injection harness can corrupt a layer's LSH families —
+/// the two clustering failure extremes a guardrail must catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegenerateClustering {
+    /// Every row lands in its own cluster: reuse silently vanishes and the
+    /// layer does *more* work than dense (hashing overhead on top of the
+    /// full GEMM). Realised by swapping in maximally fine (H = 64)
+    /// families while the configured `H` stays small.
+    AllSingleton,
+    /// Every row collapses into one cluster: the output degenerates to a
+    /// single centroid per sub-matrix and the loss destabilises. Realised
+    /// by all-zero hyperplane families (every signature is 0).
+    OneGiantCluster,
+}
+
 /// Clustering scope (§III-B "Cluster Scope"): which pool of neuron vectors
 /// may share a cluster. The across-batch level is reached by additionally
 /// setting the `CR` flag on the single-batch scope (Algorithm 1).

@@ -1,6 +1,7 @@
-//! Train with Adam + batch normalisation, checkpoint the weights, and
-//! resume in a fresh process-like context — the workflow a downstream user
-//! needs for long adaptive-deep-reuse trainings.
+//! Crash-safe training: periodic full-state checkpoints, a simulated kill,
+//! and a bitwise-identical resume — the workflow a downstream user needs
+//! for long adaptive-deep-reuse trainings. A second section shows the
+//! lighter parameter-only `Checkpoint` for weight hand-off.
 //!
 //! Run with: `cargo run --release --example checkpoint_and_resume`
 
@@ -12,34 +13,30 @@ use adaptive_deep_reuse::models::ConvMode;
 use adaptive_deep_reuse::nn::batchnorm::BatchNorm;
 use adaptive_deep_reuse::nn::checkpoint::Checkpoint;
 use adaptive_deep_reuse::nn::dense::Dense;
-use adaptive_deep_reuse::nn::optimizer::Adam;
-use adaptive_deep_reuse::nn::pool::Pool2d;
 use adaptive_deep_reuse::nn::relu::Relu;
 use adaptive_deep_reuse::prelude::*;
 use adaptive_deep_reuse::reuse::ReuseConfig;
 use adaptive_deep_reuse::tensor::im2col::ConvGeom;
 
-/// A small reuse CNN with batch normalisation after each convolution.
+/// A small reuse CNN; the same seed always builds the same network.
 fn build(seed: u64) -> Network {
     let mut rng = AdrRng::seeded(seed);
     let mut net = Network::new((16, 16, 3));
     let g1 = ConvGeom::new(16, 16, 3, 5, 5, 1, 2).unwrap();
-    net.push(ConvMode::Reuse(ReuseConfig::new(5, 12, false)).build("conv1", g1, 32, &mut rng));
-    net.push(Box::new(BatchNorm::new("bn1", 32)));
+    net.push(ConvMode::Reuse(ReuseConfig::new(5, 12, false)).build("conv1", g1, 16, &mut rng));
+    // Batch norm carries non-learnable running statistics — captured and
+    // restored by the TrainState like everything else.
+    net.push(Box::new(BatchNorm::new("bn1", 16)));
     net.push(Box::new(Relu::new("relu1")));
-    net.push(Box::new(Pool2d::max("pool1", 3, 2)));
-    let g2 = ConvGeom::new(7, 7, 32, 5, 5, 1, 2).unwrap();
-    net.push(ConvMode::Reuse(ReuseConfig::new(10, 10, false)).build("conv2", g2, 32, &mut rng));
-    net.push(Box::new(BatchNorm::new("bn2", 32)));
+    let g2 = ConvGeom::new(16, 16, 16, 3, 3, 2, 1).unwrap();
+    net.push(ConvMode::Reuse(ReuseConfig::new(8, 10, false)).build("conv2", g2, 16, &mut rng));
     net.push(Box::new(Relu::new("relu2")));
-    net.push(Box::new(Pool2d::max("pool2", 3, 2)));
-    net.push(Box::new(Dense::new("fc", 3 * 3 * 32, 4, &mut rng)));
+    net.push(Box::new(Dense::new("fc", 8 * 8 * 16, 4, &mut rng)));
     net
 }
 
-fn main() {
-    println!("checkpoint & resume with Adam + BatchNorm + deep reuse\n");
-    let mut rng = AdrRng::seeded(5);
+fn make_source(seed: u64) -> DatasetSource {
+    let mut rng = AdrRng::seeded(seed);
     let cfg = SynthConfig {
         num_images: 200,
         num_classes: 4,
@@ -51,46 +48,78 @@ fn main() {
         max_shift: 2,
         image_variability: 0.4,
     };
-    let dataset = SynthDataset::generate(&cfg, &mut rng);
-    let mut source = DatasetSource::new(dataset, 16, 32);
-    let (probe_x, probe_y) = source.probe();
+    DatasetSource::new(SynthDataset::generate(&cfg, &mut rng), 16, 32)
+}
 
-    // Phase 1: train with Adam for 120 iterations, then checkpoint.
+fn main() {
+    println!("crash-safe training: checkpoint, kill, resume\n");
+    let trainer =
+        Trainer::new(TrainerConfig { max_iterations: 150, eval_every: 25, ..Default::default() });
+    let state_path = std::env::temp_dir().join("adr_example_train_state.adrs");
+    std::fs::remove_file(&state_path).ok();
+
+    // Phase 1: train under the adaptive strategy with full-state
+    // checkpoints every 25 iterations — and simulate a crash at 90.
     let mut net = build(7);
-    let mut adam = Adam::with_defaults(2e-3);
-    for it in 0..120 {
-        let (x, y) = source.batch(it % source.num_batches());
-        let step = net.train_batch_with(&x, &y, &mut adam);
-        if it % 30 == 0 {
-            println!("iter {it:>3}: loss {:.4}", step.loss);
-        }
-    }
-    let phase1 = net.evaluate(&probe_x, &probe_y);
-    println!("phase 1 done: probe accuracy {:.3}", phase1.accuracy);
-    let ckpt_path = std::env::temp_dir().join("adr_example_checkpoint.adr");
-    Checkpoint::capture(&mut net).save(&ckpt_path).expect("save checkpoint");
-    println!("checkpoint written to {}", ckpt_path.display());
-
-    // Phase 2: a *fresh* network (different init seed) resumes from disk.
-    let mut resumed = build(99);
-    let cold = resumed.evaluate(&probe_x, &probe_y);
-    Checkpoint::load(&ckpt_path)
-        .expect("load checkpoint")
-        .restore(&mut resumed)
-        .expect("architecture matches");
-    let warm = resumed.evaluate(&probe_x, &probe_y);
+    let mut sgd =
+        Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+    let mut source = make_source(5);
+    let interrupted = trainer
+        .train_with(
+            &mut net,
+            Strategy::adaptive(),
+            &mut source,
+            &mut sgd,
+            TrainOptions {
+                checkpoint: Some(CheckpointPolicy::new(&state_path, 25)),
+                halt_after: Some(90),
+                ..Default::default()
+            },
+        )
+        .unwrap();
     println!(
-        "\nfresh net accuracy {:.3} -> after restore {:.3} (trained: {:.3})",
-        cold.accuracy, warm.accuracy, phase1.accuracy
+        "phase 1 'crashed' after {} iterations (accuracy so far {:.3})",
+        interrupted.iterations_run, interrupted.final_accuracy
     );
 
-    // Continue training from the checkpoint with a fresh optimiser.
-    let mut adam2 = Adam::with_defaults(1e-3);
-    for it in 0..60 {
-        let (x, y) = source.batch((120 + it) % source.num_batches());
-        resumed.train_batch_with(&x, &y, &mut adam2);
-    }
-    let final_eval = resumed.evaluate(&probe_x, &probe_y);
-    println!("after 60 resumed iterations: probe accuracy {:.3}", final_eval.accuracy);
-    std::fs::remove_file(&ckpt_path).ok();
+    // Phase 2: a fresh process — rebuild network + optimiser + data from
+    // the same seeds, load the TrainState, and continue. The resumed run
+    // finishes exactly as an uninterrupted one would: parameters, SGD
+    // momentum, controller stage, FLOP counters, and the batch cursor all
+    // come back from the snapshot.
+    let state = TrainState::load(&state_path).expect("checkpoint written before the kill");
+    println!(
+        "\nresuming from {} (captured at iteration {})",
+        state_path.display(),
+        state.iteration
+    );
+    let mut net2 = build(7);
+    let mut sgd2 =
+        Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
+    let mut source2 = make_source(5);
+    let finished = trainer
+        .train_with(
+            &mut net2,
+            Strategy::adaptive(),
+            &mut source2,
+            &mut sgd2,
+            TrainOptions { resume: Some(state), ..Default::default() },
+        )
+        .unwrap();
+    println!("\n{}", finished.summary());
+
+    // Hand-off: the lighter parameter-only checkpoint (no optimiser or
+    // controller state) is still the right artifact for shipping weights.
+    let weights_path = std::env::temp_dir().join("adr_example_weights.adr");
+    Checkpoint::capture(&mut net2).save(&weights_path).expect("save weights");
+    let mut fresh = build(99);
+    Checkpoint::load(&weights_path)
+        .expect("load weights")
+        .restore(&mut fresh)
+        .expect("architecture matches");
+    let (probe_x, probe_y) = source2.probe();
+    let warm = fresh.evaluate(&probe_x, &probe_y);
+    println!("\nparameter-only hand-off: fresh net restored to accuracy {:.3}", warm.accuracy);
+    std::fs::remove_file(&state_path).ok();
+    std::fs::remove_file(&weights_path).ok();
 }

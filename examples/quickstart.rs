@@ -50,7 +50,8 @@ fn main() {
     let mut source = DatasetSource::new(dataset.clone(), 16, 32);
     let mut sgd =
         Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
-    let baseline = trainer.train(&mut baseline_net, Strategy::baseline(), &mut source, &mut sgd);
+    let baseline =
+        trainer.train(&mut baseline_net, Strategy::baseline(), &mut source, &mut sgd).unwrap();
     println!("\n== dense baseline ==\n{}", baseline.summary());
 
     // 3. The same topology with adaptive deep reuse (Strategy 2): the
@@ -61,7 +62,8 @@ fn main() {
     let mut source = DatasetSource::new(dataset, 16, 32);
     let mut sgd =
         Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
-    let adaptive = trainer.train(&mut reuse_net, Strategy::adaptive(), &mut source, &mut sgd);
+    let adaptive =
+        trainer.train(&mut reuse_net, Strategy::adaptive(), &mut source, &mut sgd).unwrap();
     println!("\n== adaptive deep reuse (strategy 2) ==\n{}", adaptive.summary());
 
     println!(

@@ -64,7 +64,7 @@ fn main() {
         let mut net = cifarnet::bench_scale(4, mode, &mut rng);
         let mut sgd = Sgd::new(LrSchedule::InverseTime { base: 0.03, rate: 0.005 }, 0.9, 0.0)
             .with_clip_norm(5.0);
-        let report = trainer.train(&mut net, strategy, &mut source, &mut sgd);
+        let report = trainer.train(&mut net, strategy, &mut source, &mut sgd).unwrap();
         let time_s = report.wall_time.as_secs_f64();
         let time_saving = baseline_time.map_or(0.0, |t: f64| 1.0 - time_s / t);
         if baseline_time.is_none() {

@@ -139,7 +139,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let mut sgd =
         Sgd::new(LrSchedule::InverseTime { base: lr, rate: 0.005 }, 0.9, 0.0).with_clip_norm(5.0);
     println!("training {model} with {strategy_name} for {iterations} iterations ...");
-    let report = trainer.train(&mut net, strategy, &mut source, &mut sgd);
+    let report = trainer
+        .train(&mut net, strategy, &mut source, &mut sgd)
+        .map_err(|e| format!("training failed: {e}"))?;
     println!("{}", report.summary());
 
     if let Some(path) = args.options.get("checkpoint") {

@@ -46,12 +46,19 @@ pub mod prelude {
     pub use crate::source::{DatasetSource, ShuffledSource};
     pub use adr_clustering::lsh::LshTable;
     pub use adr_core::controller::AdaptiveController;
+    pub use adr_core::faults::{FaultKind, FaultPlan};
+    pub use adr_core::guardrails::{GuardrailConfig, GuardrailEvent, GuardrailEventKind};
     pub use adr_core::policy::{HRange, LRange};
+    pub use adr_core::state::{StateError, TrainState};
     pub use adr_core::strategy::{Strategy, StrategyKind};
-    pub use adr_core::trainer::{Trainer, TrainerConfig};
+    pub use adr_core::trainer::{
+        CheckpointPolicy, TrainError, TrainOptions, Trainer, TrainerConfig,
+    };
     pub use adr_data::synth::{SynthConfig, SynthDataset};
     pub use adr_models::{alexnet, cifarnet, vgg19};
-    pub use adr_nn::{Adam, Checkpoint, Layer, LrSchedule, Mode, Network, Optimizer, Sgd};
+    pub use adr_nn::{
+        Adam, Checkpoint, CheckpointError, Layer, LrSchedule, Mode, Network, Optimizer, Sgd,
+    };
     pub use adr_reuse::layer::ReuseConv2d;
     pub use adr_reuse::{ClusterScope, ReuseConfig};
     pub use adr_tensor::rng::AdrRng;

@@ -62,6 +62,9 @@ impl BatchSource for DatasetSource {
     fn probe(&mut self) -> (Tensor4, Vec<usize>) {
         self.probe.clone()
     }
+
+    // `batch(index)` is a pure function of `index`, so the default empty
+    // cursor from `BatchSource` is already fully resumable.
 }
 
 #[cfg(test)]
@@ -154,6 +157,76 @@ impl BatchSource for ShuffledSource {
     fn probe(&mut self) -> (Tensor4, Vec<usize>) {
         self.probe.clone()
     }
+
+    // Unlike `DatasetSource`, this source is stateful: the epoch
+    // permutation, cursor, and RNG stream position must all survive a
+    // checkpoint for a resumed run to see the same batches.
+    //
+    // Layout: [rng.words; 4] ++ [spare_flag, spare_bits] ++ [cursor]
+    //         ++ [order_len] ++ order
+    fn snapshot_state(&self) -> Vec<u64> {
+        let rng = self.rng.snapshot();
+        let mut out = Vec::with_capacity(8 + self.order.len());
+        out.extend_from_slice(&rng.words);
+        match rng.spare_gauss {
+            Some(v) => {
+                out.push(1);
+                out.push(u64::from(v.to_bits()));
+            }
+            None => {
+                out.push(0);
+                out.push(0);
+            }
+        }
+        out.push(self.cursor as u64);
+        out.push(self.order.len() as u64);
+        out.extend(self.order.iter().map(|&i| i as u64));
+        out
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let err = |what: &str| format!("shuffled-source cursor: {what}");
+        if state.len() < 8 {
+            return Err(err("fewer than 8 header words"));
+        }
+        let words = [state[0], state[1], state[2], state[3]];
+        let spare_gauss = match state[4] {
+            0 => None,
+            1 => {
+                let bits =
+                    u32::try_from(state[5]).map_err(|_| err("spare-gauss bits exceed 32 bits"))?;
+                Some(f32::from_bits(bits))
+            }
+            _ => return Err(err("bad spare-gauss flag")),
+        };
+        let cursor = usize::try_from(state[6]).map_err(|_| err("cursor overflows usize"))?;
+        let order_len =
+            usize::try_from(state[7]).map_err(|_| err("order length overflows usize"))?;
+        if order_len != self.train_len {
+            return Err(err(&format!(
+                "permutation covers {order_len} images, source has {}",
+                self.train_len
+            )));
+        }
+        if state.len() != 8 + order_len {
+            return Err(err("length disagrees with recorded permutation size"));
+        }
+        if cursor > self.train_len {
+            return Err(err("cursor past the end of the epoch"));
+        }
+        let mut order = Vec::with_capacity(order_len);
+        for &w in &state[8..] {
+            let i = usize::try_from(w).map_err(|_| err("index overflows usize"))?;
+            if i >= self.train_len {
+                return Err(err("permutation index out of range"));
+            }
+            order.push(i);
+        }
+        self.rng = AdrRng::from_snapshot(adr_tensor::rng::RngState { words, spare_gauss });
+        self.cursor = cursor;
+        self.order = order;
+        Ok(())
+    }
 }
 
 /// Keep the simple [`Batcher`] reachable from the facade for users who want
@@ -180,6 +253,45 @@ mod shuffled_tests {
                 assert!(seen.insert(key), "image repeated within an epoch");
             }
         }
+    }
+
+    #[test]
+    fn shuffled_source_cursor_round_trips_mid_epoch() {
+        let mut rng = AdrRng::seeded(5);
+        let dataset = SynthDataset::cifar_like(30, 2, &mut rng);
+        let mut a = ShuffledSource::new(dataset.clone(), 6, 6, AdrRng::seeded(11));
+        // Advance past an epoch boundary so the reshuffled RNG state and a
+        // mid-epoch cursor are both live.
+        for i in 0..5 {
+            let _ = a.batch(i);
+        }
+        let cursor = a.snapshot_state();
+        let mut b = ShuffledSource::new(dataset, 6, 6, AdrRng::seeded(999));
+        b.restore_state(&cursor).unwrap();
+        for i in 0..6 {
+            let (xa, ya) = a.batch(i);
+            let (xb, yb) = b.batch(i);
+            assert_eq!(ya, yb);
+            assert_eq!(xa.as_slice(), xb.as_slice());
+        }
+    }
+
+    #[test]
+    fn shuffled_source_rejects_malformed_cursors() {
+        let mut rng = AdrRng::seeded(6);
+        let dataset = SynthDataset::cifar_like(30, 2, &mut rng);
+        let mut s = ShuffledSource::new(dataset, 6, 6, AdrRng::seeded(12));
+        let good = s.snapshot_state();
+        assert!(s.restore_state(&[]).is_err(), "too short");
+        assert!(s.restore_state(&good[..good.len() - 1]).is_err(), "truncated order");
+        let mut wrong_len = good.clone();
+        wrong_len[7] = 3;
+        assert!(s.restore_state(&wrong_len).is_err(), "wrong permutation size");
+        let mut oob = good.clone();
+        let last = oob.len() - 1;
+        oob[last] = 10_000;
+        assert!(s.restore_state(&oob).is_err(), "out-of-range index");
+        assert!(s.restore_state(&good).is_ok());
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn policy_ranges_for_cifarnet_layers_are_sane() {
 fn controller_covers_every_reuse_layer_of_vgg19() {
     let mut rng = AdrRng::seeded(1);
     let mut net = vgg19::bench_scale(4, ConvMode::reuse_default(), &mut rng);
-    let controller = AdaptiveController::for_network(&mut net, 8, 4, 4, 0.01, 0, false);
+    let controller = AdaptiveController::for_network(&mut net, 8, 4, 4, 0.01, 0, false).unwrap();
     assert_eq!(controller.plans().len(), 16, "all 16 conv layers planned");
     // Every plan's schedule is non-trivial and monotone.
     for plan in controller.plans() {
@@ -75,7 +75,7 @@ fn adaptive_training_switches_and_saves_flops_on_cifarnet() {
         ..Default::default()
     });
     let mut sgd = Sgd::new(LrSchedule::Constant(0.02), 0.9, 0.0).with_clip_norm(5.0);
-    let report = trainer.train(&mut net, Strategy::adaptive(), &mut source, &mut sgd);
+    let report = trainer.train(&mut net, Strategy::adaptive(), &mut source, &mut sgd).unwrap();
     assert!(!report.switches.is_empty(), "controller must switch at least once");
     assert!(report.flop_savings() > 0.3, "flop savings {}", report.flop_savings());
     assert!(report.final_accuracy.is_finite());
@@ -108,7 +108,7 @@ fn all_four_strategies_produce_finite_trainings() {
             ..Default::default()
         });
         let mut sgd = Sgd::new(LrSchedule::Constant(0.02), 0.9, 0.0).with_clip_norm(5.0);
-        let report = trainer.train(&mut net, strategy, &mut source, &mut sgd);
+        let report = trainer.train(&mut net, strategy, &mut source, &mut sgd).unwrap();
         assert_eq!(report.iterations_run, 40);
         assert!(report.final_loss.is_finite(), "{}: loss diverged", report.strategy);
         if strategy.uses_reuse() {
