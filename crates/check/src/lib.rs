@@ -70,7 +70,9 @@ pub const FLOAT_EQ_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering", "c
 /// Crates whose `Layer` impls must appear in the gradient-check registry.
 pub const GRAD_COVERAGE_CRATES: &[&str] = &["nn"];
 /// Crates whose file writes must go through the atomic durable helper.
-pub const DURABLE_IO_CRATES: &[&str] = &["nn", "core"];
+/// `serve` is here for its checkpoint-adjacent loading code: reads are
+/// never flagged, but any write it grows must be atomic from day one.
+pub const DURABLE_IO_CRATES: &[&str] = &["nn", "core", "serve"];
 
 /// Everything one run produced.
 pub struct Report {

@@ -714,6 +714,21 @@ mod tests {
     }
 
     #[test]
+    fn durable_io_in_serve_flags_writes_but_not_checkpoint_reads() {
+        // The serving engine reads checkpoints (`fs::read`, `File::open`)
+        // constantly; only bare *writes* violate the durability policy.
+        let m = model(
+            "fn load(p: &Path) -> io::Result<Vec<u8>> { std::fs::read(p) }\n\
+             fn peek(p: &Path) { let f = File::open(p); }",
+        );
+        assert!(durable_io("crates/serve/src/engine.rs", &m).is_empty());
+        let m = model("fn persist(p: &Path, b: &[u8]) { std::fs::write(p, b).ok(); }");
+        let found = durable_io("crates/serve/src/engine.rs", &m);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, Lint::DurableIo);
+    }
+
+    #[test]
     fn durable_io_ignores_lookalikes() {
         let m = model(
             "fn a(p: &Path, b: &[u8]) { durable::write_atomic(p, b); }\n\

@@ -106,6 +106,112 @@ impl IoFault for FaultPlan {
     }
 }
 
+/// One kind of injectable serving failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFaultKind {
+    /// Stalls the micro-batch for the given wall-clock (or virtual-clock)
+    /// duration, driving the engine's latency pressure up.
+    SlowBatch {
+        /// How long the batch stalls, in milliseconds.
+        stall_ms: u64,
+    },
+    /// Overwrites the first logit of the batch output with NaN *after* the
+    /// forward pass, exercising the output sanitizer. (Poisoning inputs is
+    /// not enough: ReLU launders NaN, see [`FaultKind::NanActivations`].)
+    PoisonOutput,
+}
+
+/// A serving fault scheduled for a specific micro-batch.
+#[derive(Clone, Copy, Debug)]
+struct ScheduledServeFault {
+    at_batch: usize,
+    kind: ServeFaultKind,
+    fired: bool,
+}
+
+/// A deterministic script of failures for one serving run — the serving
+/// counterpart of [`FaultPlan`], keyed by micro-batch index instead of
+/// training iteration. Same one-shot semantics: each scheduled fault fires
+/// exactly once.
+#[derive(Debug, Default)]
+pub struct ServeFaultPlan {
+    scheduled: Vec<ScheduledServeFault>,
+    poison_requests_left: usize,
+    corrupt_load_armed: bool,
+}
+
+impl ServeFaultPlan {
+    /// Creates an empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire once, while micro-batch `at_batch` runs.
+    #[must_use]
+    pub fn inject_at_batch(mut self, at_batch: usize, kind: ServeFaultKind) -> Self {
+        self.scheduled.push(ScheduledServeFault { at_batch, kind, fired: false });
+        self
+    }
+
+    /// Poisons the next `n` submitted requests with a NaN pixel *before*
+    /// admission validation sees them (exercising input rejection).
+    #[must_use]
+    pub fn poison_requests(mut self, n: usize) -> Self {
+        self.poison_requests_left = n;
+        self
+    }
+
+    /// Arms a one-shot corruption of the next checkpoint read: a byte in
+    /// the middle of the file is flipped before parsing (exercising the
+    /// loader's typed error path).
+    #[must_use]
+    pub fn corrupt_checkpoint_load(mut self) -> Self {
+        self.corrupt_load_armed = true;
+        self
+    }
+
+    /// Returns the faults due at micro-batch `batch`, marking each fired.
+    pub fn take_due(&mut self, batch: usize) -> Vec<ServeFaultKind> {
+        let mut due = Vec::new();
+        for s in &mut self.scheduled {
+            if !s.fired && s.at_batch == batch {
+                s.fired = true;
+                due.push(s.kind);
+            }
+        }
+        due
+    }
+
+    /// Consumes one request poisoning if any remain.
+    pub fn take_request_poison(&mut self) -> bool {
+        if self.poison_requests_left == 0 {
+            return false;
+        }
+        self.poison_requests_left -= 1;
+        true
+    }
+
+    /// Flips one byte in the middle of `bytes` if the corruption is armed;
+    /// returns whether it fired. Empty inputs are left alone (truncation is
+    /// already its own failure).
+    pub fn corrupt_load(&mut self, bytes: &mut [u8]) -> bool {
+        if !self.corrupt_load_armed || bytes.is_empty() {
+            return false;
+        }
+        self.corrupt_load_armed = false;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        true
+    }
+
+    /// True when every scheduled fault has fired and nothing remains armed.
+    pub fn exhausted(&self) -> bool {
+        self.poison_requests_left == 0
+            && !self.corrupt_load_armed
+            && self.scheduled.iter().all(|s| s.fired)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +237,46 @@ mod tests {
         assert!(plan.inject_io_error().is_some());
         assert!(plan.inject_io_error().is_some());
         assert!(plan.inject_io_error().is_none());
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn serve_faults_fire_once_per_batch() {
+        let mut plan = ServeFaultPlan::new()
+            .inject_at_batch(1, ServeFaultKind::SlowBatch { stall_ms: 200 })
+            .inject_at_batch(1, ServeFaultKind::PoisonOutput)
+            .inject_at_batch(4, ServeFaultKind::SlowBatch { stall_ms: 50 });
+        assert!(plan.take_due(0).is_empty());
+        assert_eq!(
+            plan.take_due(1),
+            vec![ServeFaultKind::SlowBatch { stall_ms: 200 }, ServeFaultKind::PoisonOutput]
+        );
+        assert!(plan.take_due(1).is_empty(), "one-shot: nothing fires twice");
+        assert!(!plan.exhausted());
+        assert_eq!(plan.take_due(4), vec![ServeFaultKind::SlowBatch { stall_ms: 50 }]);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn request_poison_is_bounded() {
+        let mut plan = ServeFaultPlan::new().poison_requests(2);
+        assert!(plan.take_request_poison());
+        assert!(plan.take_request_poison());
+        assert!(!plan.take_request_poison());
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn checkpoint_corruption_flips_one_mid_byte_once() {
+        let mut plan = ServeFaultPlan::new().corrupt_checkpoint_load();
+        let mut empty: [u8; 0] = [];
+        assert!(!plan.corrupt_load(&mut empty), "empty input is left alone");
+        let mut bytes = vec![0u8; 8];
+        assert!(plan.corrupt_load(&mut bytes));
+        assert_eq!(bytes[4], 0x40);
+        assert_eq!(bytes.iter().filter(|&&b| b != 0).count(), 1);
+        let mut again = vec![0u8; 8];
+        assert!(!plan.corrupt_load(&mut again), "corruption is one-shot");
         assert!(plan.exhausted());
     }
 }

@@ -27,7 +27,8 @@
 //! * [`guardrails`] — runtime health checks (non-finite loss/params, loss
 //!   spikes, degenerate clusterings) with rollback + stage tightening.
 //! * [`faults`] — a deterministic fault-injection harness for testing the
-//!   two modules above.
+//!   two modules above, plus serving-side injection points (slow batches,
+//!   poisoned outputs, corrupt checkpoint loads) for `adr_serve`.
 
 #![warn(missing_docs)]
 // Tests assert on values they just constructed; unwrap there is the idiom.
@@ -45,7 +46,7 @@ pub mod trainer;
 
 pub use candidates::CandidateList;
 pub use controller::{AdaptiveController, ControllerError, ControllerState};
-pub use faults::{FaultKind, FaultPlan};
+pub use faults::{FaultKind, FaultPlan, ServeFaultKind, ServeFaultPlan};
 pub use guardrails::{Guardrail, GuardrailConfig, GuardrailEvent, GuardrailEventKind};
 pub use policy::{HRange, LRange};
 pub use report::TrainReport;

@@ -1,9 +1,50 @@
 //! Shuffled mini-batch iteration.
 
 use adr_tensor::rng::AdrRng;
+use adr_tensor::sanitize::first_non_finite;
 use adr_tensor::Tensor4;
 
 use crate::synth::SynthDataset;
+
+/// Why a validated batch could not be produced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchError {
+    /// A gathered sample carries a NaN/Inf pixel.
+    NonFiniteSample {
+        /// Index of the offending image in the dataset (not the batch).
+        dataset_index: usize,
+        /// Flat offset of the first bad value within that image.
+        offset: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// The dataset's per-image shape disagrees with what the consumer
+    /// declared via [`Batcher::with_expected_shape`].
+    ShapeMismatch {
+        /// Shape the consumer expects.
+        expected: (usize, usize, usize),
+        /// Shape the dataset actually produces.
+        found: (usize, usize, usize),
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonFiniteSample { dataset_index, offset, value } => write!(
+                f,
+                "dataset image {dataset_index} has non-finite value {value} at offset {offset}"
+            ),
+            Self::ShapeMismatch { expected, found } => write!(
+                f,
+                "dataset images are {}x{}x{}, consumer expects {}x{}x{}",
+                found.0, found.1, found.2, expected.0, expected.1, expected.2
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// Iterates a dataset in shuffled mini-batches, reshuffling every epoch
 /// (the paper randomly shuffles inputs before feeding the network, §VI).
@@ -14,6 +55,7 @@ pub struct Batcher<'a> {
     cursor: usize,
     rng: AdrRng,
     epoch: usize,
+    expected_shape: Option<(usize, usize, usize)>,
 }
 
 impl<'a> Batcher<'a> {
@@ -26,7 +68,16 @@ impl<'a> Batcher<'a> {
         assert!(!dataset.is_empty(), "cannot batch an empty dataset");
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         rng.shuffle(&mut order);
-        Self { dataset, batch_size, order, cursor: 0, rng, epoch: 0 }
+        Self { dataset, batch_size, order, cursor: 0, rng, epoch: 0, expected_shape: None }
+    }
+
+    /// Pins the per-image shape [`Batcher::try_next_batch`] must produce —
+    /// typically the consuming network's input shape, so a mis-wired
+    /// dataset fails with a typed error instead of a panic deep in a layer.
+    #[must_use]
+    pub fn with_expected_shape(mut self, shape: (usize, usize, usize)) -> Self {
+        self.expected_shape = Some(shape);
+        self
     }
 
     /// Batches per epoch (last partial batch is dropped).
@@ -49,6 +100,34 @@ impl<'a> Batcher<'a> {
         let idx = &self.order[self.cursor..self.cursor + self.batch_size.min(self.order.len())];
         self.cursor += self.batch_size;
         self.dataset.gather(idx)
+    }
+
+    /// [`Batcher::next_batch`] with validation: rejects a batch containing
+    /// non-finite pixels (naming the offending *dataset* image, not just
+    /// the batch slot) and, when a shape was pinned, a mis-shaped dataset.
+    ///
+    /// The cursor advances either way, so a caller can skip a poisoned
+    /// batch and continue with the next one.
+    ///
+    /// # Errors
+    /// [`BatchError::ShapeMismatch`] / [`BatchError::NonFiniteSample`].
+    pub fn try_next_batch(&mut self) -> Result<(Tensor4, Vec<usize>), BatchError> {
+        if let Some(expected) = self.expected_shape {
+            let found = self.dataset.image_shape();
+            if found != expected {
+                return Err(BatchError::ShapeMismatch { expected, found });
+            }
+        }
+        let start = if self.cursor + self.batch_size > self.order.len() { 0 } else { self.cursor };
+        let (images, labels) = self.next_batch();
+        if let Some((index, value)) = first_non_finite(images.as_slice()) {
+            let (h, w, c) = self.dataset.image_shape();
+            let per = h * w * c;
+            let slot = index / per;
+            let dataset_index = self.order.get(start + slot).copied().unwrap_or(slot);
+            return Err(BatchError::NonFiniteSample { dataset_index, offset: index % per, value });
+        }
+        Ok((images, labels))
     }
 }
 
@@ -114,6 +193,54 @@ mod tests {
             second_epoch.as_slice(),
             "epochs should be differently shuffled"
         );
+    }
+
+    #[test]
+    fn try_next_batch_accepts_clean_data_and_matches_next_batch() {
+        let d = dataset();
+        let mut checked = Batcher::new(&d, 4, AdrRng::seeded(6)).with_expected_shape((6, 6, 1));
+        let mut plain = Batcher::new(&d, 4, AdrRng::seeded(6));
+        for _ in 0..6 {
+            let (i1, l1) = checked.try_next_batch().unwrap();
+            let (i2, l2) = plain.next_batch();
+            assert_eq!(l1, l2);
+            assert_eq!(i1.as_slice(), i2.as_slice());
+        }
+    }
+
+    #[test]
+    fn try_next_batch_rejects_a_mis_shaped_dataset() {
+        let d = dataset();
+        let mut b = Batcher::new(&d, 4, AdrRng::seeded(7)).with_expected_shape((16, 16, 3));
+        assert_eq!(
+            b.try_next_batch(),
+            Err(BatchError::ShapeMismatch { expected: (16, 16, 3), found: (6, 6, 1) })
+        );
+    }
+
+    #[test]
+    fn try_next_batch_names_the_poisoned_dataset_image() {
+        let mut d = dataset();
+        // Poison one pixel of dataset image 13.
+        let per = 6 * 6;
+        d.images_mut().as_mut_slice()[13 * per + 5] = f32::NAN;
+        let mut b = Batcher::new(&d, 20, AdrRng::seeded(8));
+        let err = b.try_next_batch().unwrap_err();
+        // NaN compares unequal to itself, so match fields instead of the
+        // whole variant.
+        match err {
+            BatchError::NonFiniteSample { dataset_index, offset, value } => {
+                assert_eq!(dataset_index, 13);
+                assert_eq!(offset, 5);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFiniteSample, got {other:?}"),
+        }
+        assert!(err.to_string().contains("image 13"));
+        // The cursor advanced past the poisoned epoch: skipping is possible.
+        let before = b.epoch();
+        let _ = b.try_next_batch();
+        assert!(b.epoch() >= before);
     }
 
     #[test]

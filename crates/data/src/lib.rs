@@ -19,5 +19,5 @@ pub mod split;
 pub mod synth;
 
 pub use augment::{augment_batch, AugmentConfig};
-pub use batcher::Batcher;
+pub use batcher::{BatchError, Batcher};
 pub use synth::{SynthConfig, SynthDataset};

@@ -201,6 +201,53 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Records every injection consultation, failing each one — the probe
+    /// for attempt counts and event ordering under a persistent fault.
+    struct RecordingFault {
+        consultations: usize,
+    }
+    impl IoFault for RecordingFault {
+        fn inject_io_error(&mut self) -> Option<io::Error> {
+            self.consultations += 1;
+            Some(io::Error::other(format!("persistent fault, attempt {}", self.consultations)))
+        }
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_exactly_max_attempts_with_backoff() {
+        let path = std::env::temp_dir().join("adr_durable_backoff.bin");
+        write_atomic(&path, b"pre-fault snapshot").unwrap();
+        let mut fault = RecordingFault { consultations: 0 };
+        let policy = RetryPolicy { max_attempts: 4, backoff: Duration::from_millis(2) };
+        let started = std::time::Instant::now();
+        let err = write_atomic_retry(&path, b"never lands", policy, &mut fault).unwrap_err();
+        let elapsed = started.elapsed();
+        // Every attempt consulted the fault hook exactly once, in order,
+        // and the returned error is the *last* attempt's.
+        assert_eq!(fault.consultations, 4);
+        assert!(err.to_string().contains("attempt 4"), "got: {err}");
+        // Backoff doubles before attempts 2..=4: 2 + 4 + 8 ms minimum.
+        assert!(elapsed >= Duration::from_millis(14), "slept only {elapsed:?}");
+        // The previous snapshot survives a fully failed write.
+        assert_eq!(std::fs::read(&path).unwrap(), b"pre-fault snapshot");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_max_attempts_clamps_to_one_attempt() {
+        let path = std::env::temp_dir().join("adr_durable_clamp.bin");
+        let mut fault = RecordingFault { consultations: 0 };
+        let policy = RetryPolicy { max_attempts: 0, backoff: Duration::from_millis(1) };
+        let err = write_atomic_retry(&path, b"x", policy, &mut fault);
+        assert!(err.is_err());
+        assert_eq!(fault.consultations, 1, "clamped to exactly one attempt");
+        // And with no fault, the single attempt succeeds.
+        let policy = RetryPolicy { max_attempts: 0, backoff: Duration::from_millis(1) };
+        write_atomic_retry(&path, b"landed", policy, &mut NoFaults).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"landed");
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn retry_gives_up_and_preserves_old_file() {
         let path = std::env::temp_dir().join("adr_durable_giveup.bin");

@@ -8,6 +8,32 @@ use crate::optimizer::Optimizer;
 use crate::sgd::Sgd;
 use crate::softmax::{accuracy, softmax_cross_entropy};
 
+/// The per-image shape of a batch disagrees with the network's input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Shape the network was built for.
+    pub expected: Shape3,
+    /// Shape the batch carried.
+    pub found: Shape3,
+}
+
+impl std::fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch shape {}x{}x{} does not match the network input {}x{}x{}",
+            self.found.0,
+            self.found.1,
+            self.found.2,
+            self.expected.0,
+            self.expected.1,
+            self.expected.2
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
 /// Result of a single training step.
 #[derive(Clone, Debug)]
 pub struct StepResult {
@@ -136,6 +162,24 @@ impl Network {
         EvalResult { loss: out.loss, accuracy: accuracy(&out.predictions, labels) }
     }
 
+    /// Shape-checked inference forward pass (frozen `Mode::Eval` semantics).
+    ///
+    /// Unlike [`Network::forward`], which trusts its caller and lets a bad
+    /// shape panic deep inside a layer, this is the serving entry point: a
+    /// mismatched batch comes back as a typed [`ShapeMismatch`] before any
+    /// layer runs.
+    ///
+    /// # Errors
+    /// Returns [`ShapeMismatch`] when the per-image shape of `images`
+    /// differs from [`Network::input_shape`].
+    pub fn infer(&mut self, images: &Tensor4) -> Result<Tensor4, ShapeMismatch> {
+        let (_, h, w, c) = images.shape();
+        if (h, w, c) != self.input_shape {
+            return Err(ShapeMismatch { expected: self.input_shape, found: (h, w, c) });
+        }
+        Ok(self.forward(images, Mode::Eval))
+    }
+
     /// Argmax class predictions for a batch.
     pub fn predict(&mut self, images: &Tensor4) -> Vec<usize> {
         let logits = self.forward(images, Mode::Eval);
@@ -251,6 +295,20 @@ mod tests {
         assert!(net.flops().forward > 0);
         net.reset_flops();
         assert_eq!(net.flops(), FlopReport::default());
+    }
+
+    #[test]
+    fn infer_rejects_mismatched_shapes_and_matches_eval_forward() {
+        let mut net = tiny_net(7);
+        let bad = Tensor4::zeros(1, 4, 4, 1);
+        let err = net.infer(&bad).unwrap_err();
+        assert_eq!(err, ShapeMismatch { expected: (6, 6, 1), found: (4, 4, 1) });
+        assert!(err.to_string().contains("4x4x1"));
+
+        let good = Tensor4::from_fn(2, 6, 6, 1, |n, y, x, _| (n + y + x) as f32 * 0.05);
+        let via_infer = net.infer(&good).unwrap();
+        let via_forward = net.forward(&good, Mode::Eval);
+        assert_eq!(via_infer.as_slice(), via_forward.as_slice());
     }
 
     #[test]

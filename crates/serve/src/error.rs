@@ -1,0 +1,166 @@
+//! Typed failure surface of the serving engine.
+//!
+//! Serving failures split along the same line as the checkpoint formats'
+//! errors: [`RequestError`] is the per-request contract with a caller
+//! (reject, shed, miss a deadline), [`EngineError`] is the engine's own
+//! construction/loading contract. Neither ever panics a caller — overload
+//! and poisoned inputs are ordinary, typed outcomes.
+
+use std::fmt;
+
+use adr_core::state::StateError;
+use adr_nn::checkpoint::CheckpointError;
+use adr_nn::layer::Shape3;
+
+/// Why one inference request was rejected or failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestError {
+    /// The bounded admission queue is full: the request is shed rather
+    /// than buffered without bound (backpressure).
+    Overloaded {
+        /// Requests already queued.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request tensor is not a single image (`batch != 1`).
+    NotSingleImage {
+        /// Batch dimension of the submitted tensor.
+        batch: usize,
+    },
+    /// The per-image shape disagrees with the network input.
+    ShapeMismatch {
+        /// Shape the frozen network expects.
+        expected: Shape3,
+        /// Shape the request carried.
+        found: Shape3,
+    },
+    /// A NaN/Inf pixel was found at admission.
+    NonFiniteInput {
+        /// Flat index of the first non-finite value.
+        index: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// The batch output stayed non-finite even after the exact-GEMM retry;
+    /// the whole batch is failed rather than surfacing poison.
+    NonFiniteOutput {
+        /// Flat index of the first non-finite logit in the batch output.
+        index: usize,
+    },
+    /// The response would have arrived after the request's latency budget.
+    DeadlineExceeded {
+        /// Budget the request was admitted with, in milliseconds.
+        budget_ms: u64,
+        /// Admission-to-completion latency actually observed.
+        elapsed_ms: u64,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: admission queue holds {depth}/{capacity} requests")
+            }
+            Self::NotSingleImage { batch } => {
+                write!(f, "request must be a single image, got a batch of {batch}")
+            }
+            Self::ShapeMismatch { expected, found } => write!(
+                f,
+                "input shape {}x{}x{} does not match the network's {}x{}x{}",
+                found.0, found.1, found.2, expected.0, expected.1, expected.2
+            ),
+            Self::NonFiniteInput { index, value } => {
+                write!(f, "non-finite input value {value} at flat index {index}")
+            }
+            Self::NonFiniteOutput { index } => {
+                write!(f, "batch output non-finite at flat index {index} even after exact retry")
+            }
+            Self::DeadlineExceeded { budget_ms, elapsed_ms } => {
+                write!(f, "deadline exceeded: budget {budget_ms} ms, elapsed {elapsed_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Why the engine could not be built or a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The parameter checkpoint (`ADR1`) failed to load or restore.
+    Checkpoint(CheckpointError),
+    /// The full train-state snapshot (`ADRS`) failed to load or restore.
+    State(StateError),
+    /// The degradation ladder has no stages.
+    EmptyLadder,
+    /// A ladder stage carries an invalid reuse configuration.
+    BadStage {
+        /// Index of the offending stage.
+        stage: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A structurally invalid engine configuration (zero queue capacity,
+    /// zero micro-batch size, or a zero latency target).
+    BadConfig(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "checkpoint load failed: {e}"),
+            Self::State(e) => write!(f, "train-state load failed: {e}"),
+            Self::EmptyLadder => write!(f, "degradation ladder has no stages"),
+            Self::BadStage { stage, reason } => write!(f, "ladder stage {stage}: {reason}"),
+            Self::BadConfig(msg) => write!(f, "invalid engine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            Self::State(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+impl From<StateError> for EngineError {
+    fn from(e: StateError) -> Self {
+        Self::State(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_errors_render_their_parameters() {
+        let shed = RequestError::Overloaded { depth: 8, capacity: 8 };
+        assert!(shed.to_string().contains("8/8"));
+        let shape = RequestError::ShapeMismatch { expected: (16, 16, 3), found: (8, 8, 1) };
+        assert!(shape.to_string().contains("8x8x1"));
+        assert!(shape.to_string().contains("16x16x3"));
+        let late = RequestError::DeadlineExceeded { budget_ms: 10, elapsed_ms: 250 };
+        assert!(late.to_string().contains("250"));
+    }
+
+    #[test]
+    fn engine_errors_wrap_their_sources() {
+        let e = EngineError::from(CheckpointError::BadMagic);
+        assert!(matches!(e, EngineError::Checkpoint(CheckpointError::BadMagic)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(EngineError::EmptyLadder.to_string().contains("no stages"));
+    }
+}

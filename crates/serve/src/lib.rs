@@ -1,0 +1,55 @@
+//! Robust inference serving for adaptive deep reuse.
+//!
+//! The training side of this workspace tightens reuse when the model needs
+//! more precision; serving runs the same dial in reverse. ADR's knobs
+//! `{L, H, CR}` form a built-in quality/latency trade (Eqs. 5/6 of the
+//! paper): under load the server *relaxes* reuse — coarser clusters, fewer
+//! GEMM rows — instead of dropping requests, and recovers back toward the
+//! exact im2col GEMM when pressure subsides.
+//!
+//! The crate is organised around one type, [`engine::Engine`]:
+//!
+//! * **Admission** — requests enter through a bounded queue. Non-finite
+//!   pixels and shape mismatches are rejected with a typed
+//!   [`error::RequestError`] before they can touch the network; once the
+//!   queue is full, further requests are shed with
+//!   [`error::RequestError::Overloaded`] (backpressure, not buffering).
+//! * **Micro-batching** — admitted requests are compatible by construction
+//!   (admission pinned them to the network's input shape), so the engine
+//!   drains the queue FIFO into batches of at most `max_batch`.
+//! * **Deadlines** — every request carries a latency budget measured from
+//!   admission. A response that would arrive late is converted into a typed
+//!   [`error::RequestError::DeadlineExceeded`] instead of silently served.
+//! * **Degradation ladder** — a latency/queue-depth EMA
+//!   ([`ladder::DegradationLadder`]) steps the reuse strategy between
+//!   stages, from the exact GEMM through increasingly aggressive reuse —
+//!   the trainer's guardrail tightening, mirrored.
+//! * **Output sanitation** — every batch output is scanned with
+//!   `adr_tensor::sanitize::first_non_finite`; a poisoned batch is
+//!   quarantined, retried once on the exact GEMM path, and recorded. A
+//!   caller never observes a non-finite value.
+//! * **Observability** — [`report::EngineReport`] accumulates per-stage
+//!   request counts, shed/degraded/retried totals, a latency histogram and
+//!   FLOPs saved versus the exact path; `Engine::{ready, healthy}` are the
+//!   probe surface.
+//!
+//! Determinism mirrors the training loop: with the [`clock::ManualClock`]
+//! and no injected faults, the same request stream against the same
+//! checkpoint produces bitwise-identical outputs and an identical report
+//! (`tests/determinism.rs` pins this).
+
+#![warn(missing_docs)]
+// Tests assert on values they just constructed; unwrap there is the idiom.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod clock;
+pub mod engine;
+pub mod error;
+pub mod ladder;
+pub mod report;
+
+pub use clock::{ManualClock, MonotonicClock, ServeClock};
+pub use engine::{Engine, EngineConfig, InferResponse};
+pub use error::{EngineError, RequestError};
+pub use ladder::{DegradationLadder, LadderConfig, LadderMove, StagePolicy};
+pub use report::{EngineReport, LatencyHistogram, ServeEvent, ServeEventKind};

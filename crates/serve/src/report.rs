@@ -1,0 +1,269 @@
+//! Serving observability: counters, events, and the latency histogram.
+//!
+//! The serving counterpart of `adr_core::report::TrainReport`. Every
+//! robustness decision the engine makes — shedding, degrading, quarantining
+//! a poisoned batch, retrying on the exact path, failing a deadline — lands
+//! here as both a counter and an ordered [`ServeEvent`], so a fault-injected
+//! test (and an operator) can reconstruct exactly what happened and when.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Upper bounds (milliseconds, inclusive) of the latency histogram buckets;
+/// one overflow bucket follows.
+pub const LATENCY_BUCKET_BOUNDS_MS: [u64; 10] = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+
+/// A fixed-bucket histogram of admission-to-completion latencies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKET_BOUNDS_MS.len() + 1],
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
+        let bucket = LATENCY_BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_MS.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Compact `<=1ms:3 <=5ms:1 ...` rendering of the non-empty buckets.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            match LATENCY_BUCKET_BOUNDS_MS.get(i) {
+                Some(bound) => {
+                    let _ = write!(out, "<={bound}ms:{count}");
+                }
+                None => {
+                    let _ = write!(out, ">1000ms:{count}");
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
+}
+
+/// What kind of robustness event the engine recorded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeEventKind {
+    /// The ladder stepped toward more aggressive reuse.
+    Degraded,
+    /// The ladder stepped back toward the exact path.
+    Recovered,
+    /// A request was shed because the admission queue was full.
+    Overloaded,
+    /// A request was rejected at admission (shape or non-finite input).
+    RejectedInput,
+    /// A batch output failed the NaN/Inf scan and was quarantined.
+    QuarantinedBatch,
+    /// A quarantined batch was re-run on the exact GEMM path.
+    RetriedExact,
+    /// A request's response missed its deadline budget.
+    DeadlineMissed,
+    /// An injected slow-batch stall fired (fault harness).
+    SlowBatchFault,
+    /// An injected poison fired (fault harness).
+    PoisonFault,
+}
+
+/// One recorded event, in batch order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeEvent {
+    /// Micro-batch index the event belongs to (admission-time events carry
+    /// the index of the *next* batch).
+    pub batch: usize,
+    /// Event class.
+    pub kind: ServeEventKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Aggregated serving telemetry; the serving mirror of `TrainReport`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineReport {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Requests rejected for a wrong shape.
+    pub rejected_shape: u64,
+    /// Requests rejected for non-finite input values.
+    pub rejected_non_finite: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed_overloaded: u64,
+    /// Requests whose response missed its deadline.
+    pub deadline_missed: u64,
+    /// Requests failed because the output stayed non-finite after retry.
+    pub failed_non_finite: u64,
+    /// Micro-batches processed.
+    pub batches: u64,
+    /// Ladder steps toward aggressive reuse.
+    pub degraded_steps: u64,
+    /// Ladder steps back toward exact.
+    pub recovered_steps: u64,
+    /// Batches quarantined by the output sanitizer.
+    pub quarantined_batches: u64,
+    /// Batches re-run on the exact GEMM path.
+    pub retried_batches: u64,
+    /// Requests processed per ladder stage (index = stage).
+    pub requests_per_stage: Vec<u64>,
+    /// Admission-to-completion latency distribution.
+    pub latency: LatencyHistogram,
+    /// Forward multiply–adds actually performed by the frozen network.
+    pub flops_actual: u64,
+    /// Forward multiply–adds the exact path would have performed.
+    pub flops_exact: u64,
+    /// Ordered robustness events.
+    pub events: Vec<ServeEvent>,
+}
+
+impl EngineReport {
+    /// Fraction of forward FLOPs saved versus the exact path, in `[0, 1]`.
+    pub fn flop_savings(&self) -> f64 {
+        if self.flops_exact == 0 {
+            return 0.0;
+        }
+        1.0 - self.flops_actual as f64 / self.flops_exact as f64
+    }
+
+    /// Number of recorded events of `kind`.
+    pub fn events_of(&self, kind: ServeEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// The counters as stable `(name, value)` pairs — what the determinism
+    /// suite compares across runs.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("admitted", self.admitted),
+            ("completed", self.completed),
+            ("rejected_shape", self.rejected_shape),
+            ("rejected_non_finite", self.rejected_non_finite),
+            ("shed_overloaded", self.shed_overloaded),
+            ("deadline_missed", self.deadline_missed),
+            ("failed_non_finite", self.failed_non_finite),
+            ("batches", self.batches),
+            ("degraded_steps", self.degraded_steps),
+            ("recovered_steps", self.recovered_steps),
+            ("quarantined_batches", self.quarantined_batches),
+            ("retried_batches", self.retried_batches),
+        ]
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serving report: {} admitted, {} completed over {} batches",
+            self.admitted, self.completed, self.batches
+        );
+        let _ = writeln!(
+            out,
+            "  rejected: {} shape, {} non-finite | shed: {} | deadline missed: {} | failed non-finite: {}",
+            self.rejected_shape,
+            self.rejected_non_finite,
+            self.shed_overloaded,
+            self.deadline_missed,
+            self.failed_non_finite
+        );
+        let _ = writeln!(
+            out,
+            "  ladder: {} degraded, {} recovered | sanitizer: {} quarantined, {} retried exact",
+            self.degraded_steps,
+            self.recovered_steps,
+            self.quarantined_batches,
+            self.retried_batches
+        );
+        let per_stage: Vec<String> = self
+            .requests_per_stage
+            .iter()
+            .enumerate()
+            .map(|(s, n)| format!("stage{s}:{n}"))
+            .collect();
+        let _ = writeln!(out, "  requests per stage: {}", per_stage.join(" "));
+        let _ = writeln!(
+            out,
+            "  forward flops: {} vs exact {} ({:.1}% saved)",
+            self.flops_actual,
+            self.flops_exact,
+            self.flop_savings() * 100.0
+        );
+        let _ = write!(out, "  latency: {}", self.latency.summary());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_upper_bound() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_millis(0));
+        h.record(Duration::from_millis(1));
+        h.record(Duration::from_millis(2));
+        h.record(Duration::from_millis(7));
+        h.record(Duration::from_millis(1500));
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2, "0ms and 1ms share the <=1ms bucket");
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[3], 1, "7ms lands in <=10ms");
+        assert_eq!(h.counts()[LATENCY_BUCKET_BOUNDS_MS.len()], 1, "overflow bucket");
+        assert!(h.summary().contains("<=1ms:2"));
+        assert!(h.summary().contains(">1000ms:1"));
+    }
+
+    #[test]
+    fn flop_savings_is_zero_without_a_baseline() {
+        let report = EngineReport::default();
+        assert_eq!(report.flop_savings().to_bits(), 0.0f64.to_bits());
+        let report = EngineReport { flops_actual: 25, flops_exact: 100, ..EngineReport::default() };
+        assert!((report.flop_savings() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_and_counters_cover_the_robustness_counters() {
+        let report = EngineReport {
+            admitted: 10,
+            completed: 7,
+            shed_overloaded: 2,
+            degraded_steps: 3,
+            quarantined_batches: 1,
+            retried_batches: 1,
+            requests_per_stage: vec![4, 3],
+            ..EngineReport::default()
+        };
+        let s = report.summary();
+        assert!(s.contains("shed: 2"));
+        assert!(s.contains("3 degraded"));
+        assert!(s.contains("stage0:4 stage1:3"));
+        let names: Vec<&str> = report.counters().iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"shed_overloaded"));
+        assert!(names.contains(&"retried_batches"));
+    }
+}

@@ -1,23 +1,34 @@
-//! Apply deep reuse to the *inference* of an already-trained model and
-//! explore the `{L, H, CR}` knobs — the workflow of the paper's §VI-A/§VI-B1
-//! verification experiments.
+//! Serve an already-trained model through the robust inference engine and
+//! watch the degradation ladder work — the serving counterpart of the
+//! paper's §VI-A/§VI-B1 inference-reuse experiments.
+//!
+//! The script: train a dense CifarNet, checkpoint it, restore it into a
+//! reuse-mode network behind [`Engine`], then
+//!
+//! 1. serve a calm burst at the exact stage (bitwise-dense quality),
+//! 2. script an overload with injected slow-batch stalls and watch the
+//!    ladder shed quality instead of requests,
+//! 3. flood past queue capacity and watch typed load-shedding,
+//! 4. print the [`EngineReport`] — every degradation, shed, and retry is
+//!    on the record.
 //!
 //! Run with: `cargo run --release --example inference_reuse`
 
 // Test/example code asserts on values it just constructed; unwrap is the idiom.
 #![allow(clippy::unwrap_used)]
 
+use std::time::Duration;
+
 use adaptive_deep_reuse::adaptive::trainer::BatchSource;
 use adaptive_deep_reuse::models::{cifarnet, ConvMode};
-use adaptive_deep_reuse::nn::conv::Conv2d;
-use adaptive_deep_reuse::nn::{Layer, LrSchedule, Sgd};
+use adaptive_deep_reuse::nn::{LrSchedule, Sgd};
 use adaptive_deep_reuse::prelude::*;
-use adaptive_deep_reuse::reuse::ReuseConfig;
+use adaptive_deep_reuse::serve::LadderConfig;
 
 fn main() {
-    println!("deep reuse on a trained model (inference only)\n");
+    println!("robust inference serving with graceful reuse degradation\n");
 
-    // Train a dense CifarNet to convergence on the synthetic stand-in.
+    // Train a dense CifarNet on the synthetic stand-in and checkpoint it.
     let mut rng = AdrRng::seeded(11);
     let cfg = SynthConfig {
         num_images: 240,
@@ -41,57 +52,107 @@ fn main() {
     }
     let (probe_images, probe_labels) = source.probe();
     let dense_acc = net.evaluate(&probe_images, &probe_labels).accuracy;
-    println!("trained dense model: probe accuracy {dense_acc:.3}\n");
+    let ckpt_path = std::env::temp_dir().join("inference_reuse_example.adr1");
+    Checkpoint::capture(&mut net).save(&ckpt_path).unwrap();
+    println!("trained dense model: probe accuracy {dense_acc:.3}, checkpointed\n");
 
-    // Wrap conv1 in a ReuseConv2d that shares its weights, then sweep the
-    // clustering knobs and watch accuracy vs remaining ratio.
-    let conv1 = net.layers()[0]
-        .as_any()
-        .and_then(|a| a.downcast_ref::<Conv2d>())
-        .expect("layer 0 is conv1");
-    let mut reuse = ReuseConv2d::from_dense(conv1, ReuseConfig::new(5, 4, false), &mut rng);
+    // Restore the checkpoint into a reuse-mode network behind the engine.
+    // The virtual clock makes the whole demo reproducible: "load" below is
+    // scripted via injected stalls, not real machine speed.
+    let mut reuse_net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    Checkpoint::load(&ckpt_path).unwrap().restore(&mut reuse_net).unwrap();
+    let engine_cfg = EngineConfig {
+        queue_capacity: 16,
+        max_batch: 4,
+        default_deadline: Duration::from_secs(10),
+        target_batch_latency: Duration::from_millis(50),
+        ladder: LadderConfig { alpha: 1.0, min_dwell: 1, ..LadderConfig::default() },
+    };
+    let mut engine =
+        Engine::with_clock(reuse_net, engine_cfg, Box::new(ManualClock::new())).unwrap();
 
-    println!("| L  | H  | r_c    | accuracy | fwd cost vs dense |");
-    println!("|----|----|--------|----------|-------------------|");
-    for &(l, h) in &[(75, 4), (25, 4), (5, 4), (5, 8), (5, 12), (5, 15)] {
-        reuse.set_config(ReuseConfig::new(l, h, false));
-        // Evaluate the network with conv1 swapped for the reuse layer.
-        let mut x = probe_images.clone();
-        x = reuse.forward(&x, adaptive_deep_reuse::nn::Mode::Eval);
-        for i in 1..net.len() {
-            x = net.layers_mut()[i].forward(&x, adaptive_deep_reuse::nn::Mode::Eval);
+    // Single images drawn from the probe split, served one request each.
+    let (h, w, c) = (16, 16, 3);
+    let per = h * w * c;
+    let request = |i: usize| {
+        let start = (i % probe_labels.len()) * per;
+        Tensor4::from_vec(1, h, w, c, probe_images.as_slice()[start..start + per].to_vec()).unwrap()
+    };
+    let served_accuracy = |responses: &[(usize, InferResponse)], labels: &[usize]| {
+        let hits =
+            responses.iter().filter(|(i, resp)| resp.class == labels[*i % labels.len()]).count();
+        hits as f32 / responses.len().max(1) as f32
+    };
+
+    // Phase 1: calm burst — stays on the exact stage.
+    let mut calm = Vec::new();
+    for i in 0..16 {
+        let id = engine.submit(&request(i)).unwrap();
+        for (rid, outcome) in engine.poll() {
+            assert_eq!(rid, id);
+            calm.push((i, outcome.unwrap()));
         }
-        let out = adaptive_deep_reuse::nn::softmax::softmax_cross_entropy(&x, &probe_labels);
-        let hits = out.predictions.iter().zip(&probe_labels).filter(|(p, l)| p == l).count();
-        let acc = hits as f32 / probe_labels.len() as f32;
-        let stats = reuse.stats();
-        let baseline = (stats.rows * reuse.geom().k() * reuse.out_channels()) as u64;
+    }
+    println!(
+        "calm burst:     16/16 served at stage {}, accuracy {:.3} (exact = dense bitwise)",
+        calm.last().map_or(0, |(_, r)| r.stage),
+        served_accuracy(&calm, &probe_labels)
+    );
+
+    // Phase 2: overload — injected stalls make every batch 4x the latency
+    // target, and the ladder sheds *quality* instead of requests.
+    // Phase 1 served 16 single-request batches, so the overload burst
+    // starts at batch 16; stall its first three batches.
+    engine.set_fault_plan(
+        ServeFaultPlan::new()
+            .inject_at_batch(16, ServeFaultKind::SlowBatch { stall_ms: 200 })
+            .inject_at_batch(17, ServeFaultKind::SlowBatch { stall_ms: 200 })
+            .inject_at_batch(18, ServeFaultKind::SlowBatch { stall_ms: 200 }),
+    );
+    for i in 0..12 {
+        engine.submit(&request(16 + i)).unwrap();
+    }
+    let mut degraded = Vec::new();
+    while engine.queue_depth() > 0 {
+        let stage_before = engine.stage();
+        for (_, outcome) in engine.poll() {
+            degraded.push((stage_before, outcome.unwrap()));
+        }
+    }
+    println!("overload burst: every batch stalled 4x over target; stages served:");
+    for (stage, resp) in degraded.iter().step_by(4) {
         println!(
-            "| {l:<2} | {h:<2} | {:.4} | {acc:<8.3} | {:.3}x            |",
-            stats.avg_remaining_ratio,
-            stats.forward_cost_fraction(baseline),
+            "                stage {} ({} ms latency, finite logits: {})",
+            stage,
+            resp.latency.as_millis(),
+            resp.logits.iter().all(|v| v.is_finite())
         );
     }
 
-    // Cluster reuse across batches: feed the same stream twice and watch the
-    // reuse rate climb (Algorithm 1).
-    println!("\ncluster reuse across batches (L=5, H=12, CR=1):");
-    reuse.set_config(ReuseConfig::new(5, 12, true));
-    for round in 0..3 {
-        for b in 0..4 {
-            let (images, _) = source.batch(b);
-            reuse.forward(&images, adaptive_deep_reuse::nn::Mode::Eval);
+    // Phase 3: flood past queue capacity — the excess sheds, typed.
+    let mut shed = 0;
+    for i in 0..24 {
+        match engine.submit(&request(28 + i)) {
+            Ok(_) => {}
+            Err(RequestError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("unexpected rejection: {e}"),
         }
-        // Display rounding of a small non-negative mean.
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let avg_clusters = reuse.stats().avg_clusters as usize;
-        println!(
-            "  after round {}: mean reuse rate R = {:.3}, cached clusters per sub-matrix ≈ {}",
-            round + 1,
-            reuse.mean_reuse_rate(),
-            avg_clusters
-        );
     }
-    println!("\nExpected: accuracy approaches the dense value as H grows or L shrinks,");
-    println!("and the reuse rate approaches 1 once the cache has seen the stream.");
+    engine.drain();
+    println!("flood burst:    24 submitted into a 16-deep queue -> {shed} shed (typed)\n");
+
+    // The record: every degradation, recovery, shed, and retry.
+    let report = engine.into_report();
+    println!("{}\n", report.summary());
+    println!(
+        "degradation counters: {} degraded, {} recovered, {} shed, {} quarantined, {} retried",
+        report.degraded_steps,
+        report.recovered_steps,
+        report.shed_overloaded,
+        report.quarantined_batches,
+        report.retried_batches
+    );
+    println!("\nExpected: the overload burst walks the ladder down (rising FLOP savings),");
+    println!("calm traffic recovers it, and overflow sheds typed instead of buffering.");
+    std::fs::remove_file(&ckpt_path).ok();
 }

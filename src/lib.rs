@@ -14,6 +14,8 @@
 //!   the plateau-driven controller, and the three training strategies.
 //! * [`data`] — seeded synthetic datasets standing in for CIFAR-10/ImageNet.
 //! * [`models`] — CifarNet / AlexNet / VGG-19 builders.
+//! * [`serve`] — deadline-aware inference serving: bounded admission,
+//!   micro-batching, load-shedding, and a reuse degradation ladder.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use adr_data as data;
 pub use adr_models as models;
 pub use adr_nn as nn;
 pub use adr_reuse as reuse;
+pub use adr_serve as serve;
 pub use adr_tensor as tensor;
 
 /// Convenient glob-import surface for examples and applications.
@@ -46,7 +49,7 @@ pub mod prelude {
     pub use crate::source::{DatasetSource, ShuffledSource};
     pub use adr_clustering::lsh::LshTable;
     pub use adr_core::controller::AdaptiveController;
-    pub use adr_core::faults::{FaultKind, FaultPlan};
+    pub use adr_core::faults::{FaultKind, FaultPlan, ServeFaultKind, ServeFaultPlan};
     pub use adr_core::guardrails::{GuardrailConfig, GuardrailEvent, GuardrailEventKind};
     pub use adr_core::policy::{HRange, LRange};
     pub use adr_core::state::{StateError, TrainState};
@@ -61,6 +64,10 @@ pub mod prelude {
     };
     pub use adr_reuse::layer::ReuseConv2d;
     pub use adr_reuse::{ClusterScope, ReuseConfig};
+    pub use adr_serve::{
+        Engine, EngineConfig, EngineError, EngineReport, InferResponse, LadderConfig, ManualClock,
+        MonotonicClock, RequestError, ServeEventKind, StagePolicy,
+    };
     pub use adr_tensor::rng::AdrRng;
     pub use adr_tensor::{Matrix, Tensor4};
 }

@@ -10,6 +10,7 @@
 
 use adaptive_deep_reuse::models::{cifarnet, ConvMode};
 use adaptive_deep_reuse::prelude::*;
+use adaptive_deep_reuse::serve::EngineReport;
 
 /// One training run, reduced to bit patterns: per-step losses, every
 /// parameter of every layer, and per-reuse-layer cluster statistics.
@@ -81,4 +82,54 @@ fn different_seeds_actually_diverge() {
     let a = run(42);
     let b = run(43);
     assert_ne!(a.loss_bits, b.loss_bits, "different seeds produced identical losses");
+}
+
+/// One serving run against a fixed checkpoint, reduced to bit patterns:
+/// every response's logits plus the full engine report (counters, events,
+/// per-stage attribution, latency histogram).
+fn serve_run(checkpoint: &std::path::Path) -> (Vec<u32>, EngineReport) {
+    let mut rng = AdrRng::seeded(42);
+    let mut net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    Checkpoint::load(checkpoint).unwrap().restore(&mut net).unwrap();
+    let cfg = EngineConfig { queue_capacity: 16, max_batch: 4, ..EngineConfig::default() };
+    let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+
+    // The request stream: mixed smooth images, one deliberately poisoned.
+    let mut data_rng = rng.split(2);
+    let images: Vec<Tensor4> = (0..12)
+        .map(|i| {
+            let mut pixels = vec![0.0f32; 16 * 16 * 3];
+            data_rng.fill_gauss(&mut pixels);
+            if i == 5 {
+                pixels[0] = f32::NAN;
+            }
+            Tensor4::from_vec(1, 16, 16, 3, pixels).unwrap()
+        })
+        .collect();
+
+    let mut logits_bits = Vec::new();
+    for outcome in engine.serve_all(&images).into_iter().flatten() {
+        logits_bits.extend(outcome.logits.iter().map(|v| v.to_bits()));
+    }
+    (logits_bits, engine.into_report())
+}
+
+#[test]
+fn serving_the_same_stream_twice_is_bitwise_identical() {
+    // Checkpoint once; both runs load the same bytes.
+    let path = std::env::temp_dir().join("adr_determinism_serving.adr1");
+    let mut rng = AdrRng::seeded(42);
+    let mut net = cifarnet::bench_scale(4, ConvMode::Dense, &mut rng);
+    Checkpoint::capture(&mut net).save(&path).unwrap();
+
+    let (logits_a, report_a) = serve_run(&path);
+    let (logits_b, report_b) = serve_run(&path);
+
+    assert!(!logits_a.is_empty(), "no responses were served");
+    assert_eq!(logits_a, logits_b, "served logits diverged between identical streams");
+    assert_eq!(report_a, report_b, "engine reports diverged between identical streams");
+    // Sanity: the stream exercised both acceptance and rejection.
+    assert_eq!(report_a.admitted, 11);
+    assert_eq!(report_a.rejected_non_finite, 1);
+    std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,410 @@
+//! End-to-end serving robustness: the degradation ladder under injected
+//! overload, typed rejection of poisoned and malformed requests, output
+//! quarantine, corrupt-checkpoint loads, health probes, and the accuracy
+//! contract of the most aggressive reuse stage.
+//!
+//! Everything runs on the virtual [`ManualClock`], so "load" is scripted
+//! through [`ServeFaultPlan`] stalls and every assertion is deterministic.
+
+// Test code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
+use std::time::Duration;
+
+use adaptive_deep_reuse::models::{cifarnet, ConvMode};
+use adaptive_deep_reuse::prelude::*;
+use adaptive_deep_reuse::serve::LadderConfig;
+
+fn synth_dataset(seed: u64, num_images: usize) -> SynthDataset {
+    let cfg = SynthConfig {
+        num_images,
+        num_classes: 4,
+        height: 16,
+        width: 16,
+        channels: 3,
+        smoothing_passes: 2,
+        noise_std: 0.08,
+        max_shift: 1,
+        image_variability: 0.5,
+    };
+    SynthDataset::generate(&cfg, &mut AdrRng::seeded(seed))
+}
+
+fn single_image(dataset: &SynthDataset, index: usize) -> Tensor4 {
+    let (image, _) = dataset.batch(index, 1);
+    image
+}
+
+/// Trains a dense CifarNet briefly and saves an `ADR1` checkpoint; returns
+/// the checkpoint path and the dataset it was trained on.
+fn trained_checkpoint(name: &str, iterations: usize) -> (std::path::PathBuf, SynthDataset) {
+    let dataset = synth_dataset(42, 160);
+    let mut rng = AdrRng::seeded(42);
+    let mut net = cifarnet::bench_scale(4, ConvMode::Dense, &mut rng);
+    let mut sgd = Sgd::new(LrSchedule::Constant(0.05), 0.9, 0.0).with_clip_norm(5.0);
+    for it in 0..iterations {
+        let (images, labels) = dataset.batch(it, 16);
+        net.train_batch(&images, &labels, &mut sgd);
+    }
+    let path = std::env::temp_dir().join(name);
+    Checkpoint::capture(&mut net).save(&path).unwrap();
+    (path, dataset)
+}
+
+/// Fresh reuse-mode net with the trained checkpoint restored into it.
+fn restored_reuse_net(path: &std::path::Path) -> Network {
+    let mut rng = AdrRng::seeded(7);
+    let mut net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    Checkpoint::load(path).unwrap().restore(&mut net).unwrap();
+    net
+}
+
+#[test]
+fn overload_walks_the_ladder_and_sheds_with_typed_backpressure() {
+    let dataset = synth_dataset(11, 32);
+    let mut rng = AdrRng::seeded(3);
+    let net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    let cfg = EngineConfig {
+        queue_capacity: 8,
+        max_batch: 2,
+        default_deadline: Duration::from_secs(10),
+        target_batch_latency: Duration::from_millis(50),
+        ladder: LadderConfig { alpha: 1.0, min_dwell: 1, ..LadderConfig::default() },
+    };
+    let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+    // Three consecutive slow batches: pressure 4x the target each time.
+    engine.set_fault_plan(
+        ServeFaultPlan::new()
+            .inject_at_batch(0, ServeFaultKind::SlowBatch { stall_ms: 200 })
+            .inject_at_batch(1, ServeFaultKind::SlowBatch { stall_ms: 200 })
+            .inject_at_batch(2, ServeFaultKind::SlowBatch { stall_ms: 200 }),
+    );
+
+    // Fill the queue, then keep pushing: the excess must shed, typed.
+    for i in 0..8 {
+        engine.submit(&single_image(&dataset, i)).unwrap();
+    }
+    for i in 8..11 {
+        let err = engine.submit(&single_image(&dataset, i)).unwrap_err();
+        assert!(
+            matches!(err, RequestError::Overloaded { depth: 8, capacity: 8 }),
+            "expected typed backpressure, got {err:?}"
+        );
+    }
+
+    // Serve the 4 micro-batches, tracking the stage each ran at and the
+    // marginal FLOP savings of each batch.
+    let mut stages = Vec::new();
+    let mut marginal_savings = Vec::new();
+    let mut prev = (0u64, 0u64);
+    for _ in 0..4 {
+        stages.push(engine.stage());
+        for (_, outcome) in engine.poll() {
+            let resp = outcome.expect("no deadline was tight enough to miss");
+            assert!(
+                resp.logits.iter().all(|v| v.is_finite()),
+                "non-finite logits surfaced at stage {}",
+                resp.stage
+            );
+        }
+        let report = engine.report();
+        let actual = report.flops_actual - prev.0;
+        let exact = report.flops_exact - prev.1;
+        prev = (report.flops_actual, report.flops_exact);
+        marginal_savings.push(1.0 - actual as f64 / exact as f64);
+    }
+
+    // The ladder degraded one stage per hot batch: 0 -> 1 -> 2 -> 3.
+    assert_eq!(stages, vec![0, 1, 2, 3], "ladder did not walk stage by stage");
+    let report = engine.report();
+    assert_eq!(report.degraded_steps, 3);
+    assert_eq!(report.shed_overloaded, 3);
+    assert_eq!(report.completed, 8);
+    assert_eq!(report.events_of(ServeEventKind::SlowBatchFault), 3);
+    assert_eq!(report.events_of(ServeEventKind::Degraded), 3);
+    assert_eq!(report.events_of(ServeEventKind::Overloaded), 3);
+    assert_eq!(report.requests_per_stage, vec![2, 2, 2, 2]);
+
+    // Each degradation step buys more FLOPs: marginal savings rise with
+    // the stage (stage 0 is the exact path, which *costs* hashing overhead).
+    for window in marginal_savings.windows(2) {
+        assert!(window[1] > window[0], "marginal FLOP savings did not rise: {marginal_savings:?}");
+    }
+}
+
+#[test]
+fn calm_traffic_recovers_back_toward_the_exact_stage() {
+    let dataset = synth_dataset(12, 40);
+    let mut rng = AdrRng::seeded(4);
+    let net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    let cfg = EngineConfig {
+        queue_capacity: 8,
+        max_batch: 4,
+        default_deadline: Duration::from_secs(10),
+        target_batch_latency: Duration::from_millis(50),
+        ladder: LadderConfig { alpha: 1.0, min_dwell: 1, ..LadderConfig::default() },
+    };
+    let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+    engine.set_fault_plan(
+        ServeFaultPlan::new()
+            .inject_at_batch(0, ServeFaultKind::SlowBatch { stall_ms: 300 })
+            .inject_at_batch(1, ServeFaultKind::SlowBatch { stall_ms: 300 }),
+    );
+    // Two hot batches degrade; calm batches afterwards walk back to 0.
+    for i in 0..32 {
+        engine.submit(&single_image(&dataset, i)).unwrap();
+        let _ = engine.poll();
+    }
+    engine.drain();
+    assert_eq!(engine.stage(), 0, "engine did not recover to the exact stage");
+    let report = engine.report();
+    assert!(report.degraded_steps >= 2);
+    assert!(report.recovered_steps >= report.degraded_steps);
+    assert!(report.events_of(ServeEventKind::Recovered) >= 2);
+}
+
+#[test]
+fn poisoned_and_malformed_requests_are_rejected_at_admission() {
+    let dataset = synth_dataset(13, 8);
+    let mut rng = AdrRng::seeded(5);
+    let net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    let mut engine =
+        Engine::with_clock(net, EngineConfig::default(), Box::new(ManualClock::new())).unwrap();
+    // The fault plan poisons the next two submissions before validation.
+    engine.set_fault_plan(ServeFaultPlan::new().poison_requests(2));
+
+    for _ in 0..2 {
+        let err = engine.submit(&single_image(&dataset, 0)).unwrap_err();
+        assert!(matches!(err, RequestError::NonFiniteInput { index: 0, .. }), "got {err:?}");
+    }
+    // A directly poisoned pixel is caught the same way.
+    let mut nan_image = single_image(&dataset, 1);
+    nan_image.as_mut_slice()[42] = f32::NEG_INFINITY;
+    assert!(matches!(
+        engine.submit(&nan_image),
+        Err(RequestError::NonFiniteInput { index: 42, .. })
+    ));
+    // Wrong shape and multi-image tensors never reach the queue either.
+    assert!(matches!(
+        engine.submit(&Tensor4::zeros(1, 8, 8, 3)),
+        Err(RequestError::ShapeMismatch { expected: (16, 16, 3), found: (8, 8, 3) })
+    ));
+    assert!(matches!(
+        engine.submit(&Tensor4::zeros(2, 16, 16, 3)),
+        Err(RequestError::NotSingleImage { batch: 2 })
+    ));
+
+    // Clean traffic still flows afterwards, and nothing poisoned got logits.
+    let ok = engine.submit(&single_image(&dataset, 2)).unwrap();
+    let results = engine.drain();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].0, ok);
+    assert!(results[0].1.as_ref().unwrap().logits.iter().all(|v| v.is_finite()));
+    let report = engine.report();
+    assert_eq!(report.admitted, 1);
+    assert_eq!(report.rejected_non_finite, 3);
+    assert_eq!(report.rejected_shape, 2);
+    assert_eq!(report.events_of(ServeEventKind::PoisonFault), 2);
+    assert_eq!(report.events_of(ServeEventKind::RejectedInput), 5);
+}
+
+#[test]
+fn injected_output_poison_is_quarantined_and_retried_on_the_exact_path() {
+    let (path, dataset) = trained_checkpoint("adr_serving_quarantine.adr1", 10);
+    let net = restored_reuse_net(&path);
+    let cfg = EngineConfig { max_batch: 4, ..EngineConfig::default() };
+    let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+    engine.set_fault_plan(ServeFaultPlan::new().inject_at_batch(0, ServeFaultKind::PoisonOutput));
+    for i in 0..4 {
+        engine.submit(&single_image(&dataset, i)).unwrap();
+    }
+    for (_, outcome) in engine.drain() {
+        let resp = outcome.expect("exact retry clears injected output poison");
+        assert!(resp.logits.iter().all(|v| v.is_finite()), "poison surfaced to a caller");
+    }
+    let report = engine.report();
+    assert_eq!(report.quarantined_batches, 1);
+    assert_eq!(report.retried_batches, 1);
+    assert_eq!(report.failed_non_finite, 0);
+    assert_eq!(report.events_of(ServeEventKind::QuarantinedBatch), 1);
+    assert_eq!(report.events_of(ServeEventKind::RetriedExact), 1);
+    assert!(engine.healthy());
+    std::fs::remove_file(&path).ok();
+}
+
+/// (Gated off under `--features checked`: the invariant layer panics on
+/// the NaN inside the dense forward before the engine's output sanitizer
+/// can quarantine it, by design.)
+#[cfg(not(feature = "checked"))]
+#[test]
+fn persistent_weight_poison_fails_batches_typed_and_flips_the_health_probe() {
+    let dataset = synth_dataset(14, 8);
+    let mut rng = AdrRng::seeded(6);
+    let mut net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    // Poison the classifier head: no ReLU downstream launders it, so the
+    // logits stay NaN even on the exact GEMM retry.
+    if let Some(last) = net.layers_mut().last_mut() {
+        for param in last.params_mut() {
+            if let Some(w) = param.data.first_mut() {
+                *w = f32::NAN;
+            }
+        }
+    }
+    let mut engine =
+        Engine::with_clock(net, EngineConfig::default(), Box::new(ManualClock::new())).unwrap();
+    assert!(engine.healthy());
+    for batch in 0..3 {
+        engine.submit(&single_image(&dataset, batch)).unwrap();
+        let results = engine.poll();
+        assert!(
+            matches!(results[0].1, Err(RequestError::NonFiniteOutput { .. })),
+            "batch {batch}: poisoned output must fail typed, got {:?}",
+            results[0].1
+        );
+    }
+    let report = engine.report();
+    assert_eq!(report.quarantined_batches, 3);
+    assert_eq!(report.retried_batches, 3);
+    assert_eq!(report.failed_non_finite, 3);
+    assert_eq!(report.completed, 0);
+    assert!(!engine.healthy(), "three consecutive poisoned batches must flip the health probe");
+    assert!(engine.ready(), "readiness is about construction, not health");
+}
+
+#[test]
+fn corrupt_checkpoint_bytes_fail_the_load_with_a_typed_error() {
+    let (path, _) = trained_checkpoint("adr_serving_corrupt.adr1", 5);
+    let mut rng = AdrRng::seeded(8);
+    let net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    let err = Engine::load_checkpoint_with_faults(
+        &path,
+        net,
+        EngineConfig::default(),
+        ServeFaultPlan::new().corrupt_checkpoint_load(),
+    )
+    .err()
+    .expect("a flipped byte must not load");
+    assert!(matches!(err, EngineError::Checkpoint(_)), "got {err:?}");
+
+    // The same file loads fine without the fault: the corruption was
+    // injected, not real.
+    let mut rng = AdrRng::seeded(8);
+    let net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    assert!(Engine::load_checkpoint(&path, net, EngineConfig::default()).is_ok());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deadline_budgets_are_enforced_per_request() {
+    let dataset = synth_dataset(15, 8);
+    let mut rng = AdrRng::seeded(9);
+    let net = cifarnet::bench_scale(4, ConvMode::reuse_default(), &mut rng);
+    let cfg = EngineConfig { max_batch: 2, ..EngineConfig::default() };
+    let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+    engine.set_fault_plan(
+        ServeFaultPlan::new().inject_at_batch(0, ServeFaultKind::SlowBatch { stall_ms: 100 }),
+    );
+    // Same batch, different budgets: one misses, one survives.
+    let tight =
+        engine.submit_with_deadline(&single_image(&dataset, 0), Duration::from_millis(20)).unwrap();
+    let loose = engine
+        .submit_with_deadline(&single_image(&dataset, 1), Duration::from_millis(500))
+        .unwrap();
+    let results = engine.poll();
+    let by_id = |id: u64| results.iter().find(|(rid, _)| *rid == id).unwrap();
+    assert_eq!(
+        by_id(tight).1,
+        Err(RequestError::DeadlineExceeded { budget_ms: 20, elapsed_ms: 100 })
+    );
+    assert!(by_id(loose).1.is_ok());
+    assert_eq!(engine.report().deadline_missed, 1);
+}
+
+#[test]
+fn exact_stage_matches_the_dense_forward_bitwise() {
+    let (path, _) = trained_checkpoint("adr_serving_bitwise.adr1", 10);
+    // Gaussian requests: distinct im2col rows, so the exact stage's 64-hash
+    // clustering is all singletons and centroids reproduce rows exactly.
+    let mut data_rng = AdrRng::seeded(100);
+    let images: Vec<Tensor4> = (0..8)
+        .map(|_| {
+            let mut pixels = vec![0.0f32; 16 * 16 * 3];
+            data_rng.fill_gauss(&mut pixels);
+            Tensor4::from_vec(1, 16, 16, 3, pixels).unwrap()
+        })
+        .collect();
+
+    // Reference: the same checkpoint in a plain dense net, batch of 8.
+    let mut rng = AdrRng::seeded(21);
+    let mut dense = cifarnet::bench_scale(4, ConvMode::Dense, &mut rng);
+    Checkpoint::load(&path).unwrap().restore(&mut dense).unwrap();
+    let mut batch8 = Tensor4::zeros(8, 16, 16, 3);
+    for (i, img) in images.iter().enumerate() {
+        let per = 16 * 16 * 3;
+        batch8.as_mut_slice()[i * per..(i + 1) * per].copy_from_slice(img.as_slice());
+    }
+    let dense_logits = dense.forward(&batch8, Mode::Eval);
+
+    // Served: reuse net pinned to a single-stage exact ladder, one batch.
+    let net = restored_reuse_net(&path);
+    let cfg = EngineConfig {
+        max_batch: 8,
+        ladder: LadderConfig { stages: vec![StagePolicy::Exact], ..LadderConfig::default() },
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+    let responses = engine.serve_all(&images);
+
+    for (i, outcome) in responses.iter().enumerate() {
+        let resp = outcome.as_ref().unwrap();
+        assert_eq!(resp.stage, 0);
+        let reference = &dense_logits.as_slice()[i * 4..(i + 1) * 4];
+        let served_bits: Vec<u32> = resp.logits.iter().map(|v| v.to_bits()).collect();
+        let reference_bits: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(served_bits, reference_bits, "request {i}: exact stage is not bitwise dense");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn most_aggressive_stage_loses_at_most_the_documented_accuracy_delta() {
+    let (path, dataset) = trained_checkpoint("adr_serving_accuracy.adr1", 60);
+    let eval_count = 48;
+    let images: Vec<Tensor4> = (0..eval_count).map(|i| single_image(&dataset, i)).collect();
+    let labels: Vec<usize> = (0..eval_count).map(|i| dataset.labels()[i % dataset.len()]).collect();
+
+    let accuracy_at = |stages: Vec<StagePolicy>| -> f32 {
+        let net = restored_reuse_net(&path);
+        let cfg = EngineConfig {
+            queue_capacity: eval_count,
+            max_batch: 8,
+            ladder: LadderConfig { stages, ..LadderConfig::default() },
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::with_clock(net, cfg, Box::new(ManualClock::new())).unwrap();
+        let responses = engine.serve_all(&images);
+        let correct = responses
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &label)| r.as_ref().map(|resp| resp.class) == Ok(label))
+            .count();
+        correct as f32 / eval_count as f32
+    };
+
+    let exact = accuracy_at(vec![StagePolicy::Exact]);
+    // The bottom rung of the default ladder: the most aggressive stage.
+    let aggressive = accuracy_at(vec![StagePolicy::Reuse {
+        sub_vector_len: 8,
+        num_hashes: 8,
+        cluster_reuse: true,
+    }]);
+
+    assert!(exact > 0.5, "dense-trained model should beat chance, got {exact}");
+    // DESIGN.md documents the serving contract: the most aggressive stage
+    // loses at most 0.2 accuracy against the exact path.
+    assert!(
+        exact - aggressive <= 0.2,
+        "aggressive stage lost too much: exact {exact}, aggressive {aggressive}"
+    );
+    std::fs::remove_file(&path).ok();
+}
