@@ -72,7 +72,9 @@ pub const GRAD_COVERAGE_CRATES: &[&str] = &["nn"];
 /// Crates whose file writes must go through the atomic durable helper.
 /// `serve` is here for its checkpoint-adjacent loading code: reads are
 /// never flagged, but any write it grows must be atomic from day one.
-pub const DURABLE_IO_CRATES: &[&str] = &["nn", "core", "serve"];
+/// `obs` exports metrics and BENCH documents that CI parses right after
+/// the writing process exits — a torn write would fail the pipeline.
+pub const DURABLE_IO_CRATES: &[&str] = &["nn", "core", "serve", "obs"];
 
 /// Everything one run produced.
 pub struct Report {

@@ -59,10 +59,15 @@ impl ClusterTable {
         self.counts.len()
     }
 
-    /// The paper's remaining ratio `r_c = |C| / N` (§III-A).
+    /// The paper's remaining ratio `r_c = |C| / N` (§III-A). An empty table
+    /// reports `1.0` — no rows were clustered, so no work is saved.
     pub fn remaining_ratio(&self) -> f64 {
         if self.assignments.is_empty() {
-            return 0.0;
+            // An empty table means *no* clustering happened, not perfect
+            // clustering: report "all rows remain" (no savings) so the
+            // Eq. 5 cost model never reads the degenerate case as a
+            // nearly-free layer.
+            return 1.0;
         }
         self.num_clusters() as f64 / self.num_rows() as f64
     }
@@ -294,5 +299,62 @@ mod tests {
         assert_eq!(t.remaining_ratio(), 1.0);
         let data = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
         assert_eq!(t.centroids(&data), data);
+    }
+
+    #[test]
+    fn empty_table_reports_no_savings() {
+        // The degenerate "nothing was clustered" case must read as r_c = 1
+        // (all rows remain), not 0 (everything collapsed) — otherwise the
+        // Eq. 5 cost model would score the layer as nearly free.
+        let t = ClusterTable::new(vec![]);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_clusters(), 0);
+        assert_eq!(t.remaining_ratio(), 1.0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_width_centroid_window() {
+        let t = table();
+        let data = Matrix::from_fn(5, 6, |r, c| (r * 6 + c) as f32);
+        for start in [0, 3, 6] {
+            let cent = t.centroids_range(&data, start, start);
+            assert_eq!(cent.rows(), t.num_clusters());
+            assert_eq!(cent.cols(), 0);
+        }
+        // gather/scatter on zero-column data are likewise well-defined no-ops.
+        let empty = Matrix::zeros(5, 0);
+        assert_eq!(t.gather_sum(&empty).cols(), 0);
+        assert_eq!(t.gather_mean(&empty).cols(), 0);
+        let rows = Matrix::zeros(2, 0);
+        let mut out = Matrix::zeros(5, 0);
+        t.scatter_add(&rows, &mut out);
+    }
+
+    #[test]
+    fn tail_window_narrower_than_l() {
+        // A 6-column matrix split with L = 4 leaves a 2-wide tail window;
+        // the windowed centroids must match centroids of the sliced tail.
+        let t = table();
+        let data = Matrix::from_fn(5, 6, |r, c| (r * 6 + c) as f32 * 0.25);
+        let tail = t.centroids_range(&data, 4, 6);
+        assert_eq!(tail.cols(), 2);
+        let sliced = t.centroids(&data.column_slice(4, 6));
+        assert!(tail.max_abs_diff(&sliced) < 1e-6);
+        // And the full set of windows tiles the full-width centroids.
+        let full = t.centroids(&data);
+        let head = t.centroids_range(&data, 0, 4);
+        for c in 0..t.num_clusters() {
+            let rebuilt: Vec<f32> = head.row(c).iter().chain(tail.row(c)).copied().collect();
+            assert_eq!(rebuilt.as_slice(), full.row(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window out of bounds")]
+    fn inverted_window_panics() {
+        let t = table();
+        let data = Matrix::zeros(5, 6);
+        t.centroids_range(&data, 4, 2);
     }
 }

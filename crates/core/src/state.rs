@@ -545,7 +545,8 @@ impl TrainState {
 
     /// [`TrainState::save`] with bounded retry + backoff and a fault hook
     /// (the trainer's checkpoint path, where a transient write failure
-    /// must not kill the run).
+    /// must not kill the run). Returns the number of bytes written, which
+    /// the trainer feeds into the `adr_train_checkpoint_bytes` counter.
     ///
     /// # Errors
     /// Returns the last I/O error when every attempt fails; the
@@ -555,9 +556,10 @@ impl TrainState {
         path: &Path,
         policy: RetryPolicy,
         faults: &mut dyn IoFault,
-    ) -> Result<(), StateError> {
-        durable::write_atomic_retry(path, &self.to_bytes(), policy, faults)?;
-        Ok(())
+    ) -> Result<usize, StateError> {
+        let bytes = self.to_bytes();
+        durable::write_atomic_retry(path, &bytes, policy, faults)?;
+        Ok(bytes.len())
     }
 
     /// Loads from a file.
@@ -647,10 +649,24 @@ fn read_plateau(f: &mut Fields<'_>) -> Result<PlateauState, StateError> {
     let raw = f.f32()?;
     let smoothed = match present {
         0 => None,
-        1 => Some(raw),
+        1 => {
+            // A CRC-valid snapshot can still carry crafted bytes: a NaN
+            // smoothed loss would seed the plateau/guardrail EMA and
+            // permanently disarm loss comparisons. Refuse it typed.
+            if !raw.is_finite() {
+                return Err(StateError::Malformed("plateau smoothed loss is not finite"));
+            }
+            Some(raw)
+        }
         _ => return Err(StateError::Malformed("plateau presence flag")),
     };
-    Ok(PlateauState { smoothed, best: f.f32()?, stale: f.length()?, seen: f.length()? })
+    let best = f.f32()?;
+    // `+∞` is the legitimate "no best yet" sentinel; NaN and `-∞` wedge the
+    // improvement test (`current < best * (1 - δ)`) forever.
+    if best.is_nan() || (best.is_infinite() && best.is_sign_negative()) {
+        return Err(StateError::Malformed("plateau best loss is NaN or -inf"));
+    }
+    Ok(PlateauState { smoothed, best, stale: f.length()?, seen: f.length()? })
 }
 
 /// Walks the fixed section layout, verifying tags and per-section CRCs.

@@ -382,6 +382,7 @@ impl Trainer {
         let mut iter = start_iter;
         while iter < cfg.max_iterations {
             iterations_run = iter + 1;
+            adr_obs::begin_step();
             let (mut images, labels) = source.batch(iter % source.num_batches());
 
             // Scheduled fault injection (one-shot per fault).
@@ -398,6 +399,9 @@ impl Trainer {
 
             let step = net.train_batch(&images, &labels, sgd);
             running.record(step.loss, step.correct, step.batch_size);
+            adr_obs::counter_add("adr_train_steps", &[], 1);
+            adr_obs::gauge_set("adr_train_loss", &[], f64::from(step.loss));
+            adr_obs::histogram_record("adr_train_loss_per_step", &[], f64::from(step.loss));
             if iter % history_stride == 0 {
                 loss_history.push((iter, step.loss));
             }
@@ -441,6 +445,7 @@ impl Trainer {
                         // Injected degenerate LSH families live outside the
                         // snapshot; rebuild them from the (restored) config.
                         Self::for_each_reuse(net, ReuseConv2d::rebuild_families);
+                        adr_obs::counter_add("adr_train_rollbacks", &[], 1);
                         guardrail_events.push(GuardrailEvent {
                             iteration: iter,
                             kind: GuardrailEventKind::RolledBack,
@@ -578,15 +583,25 @@ impl Trainer {
                         Some(plan) => plan,
                         None => &mut no_faults,
                     };
-                    if let Err(e) = state.save_with(&policy.path, policy.retry, sink) {
-                        guardrail_events.push(GuardrailEvent {
-                            iteration: iter,
-                            kind: GuardrailEventKind::CheckpointWriteFailed,
-                            detail: format!(
-                                "{e} (previous checkpoint at {} still valid)",
-                                policy.path.display()
-                            ),
-                        });
+                    match state.save_with(&policy.path, policy.retry, sink) {
+                        Ok(bytes) => {
+                            adr_obs::counter_add("adr_train_checkpoints", &[], 1);
+                            adr_obs::counter_add(
+                                "adr_train_checkpoint_bytes",
+                                &[],
+                                u64::try_from(bytes).unwrap_or(u64::MAX),
+                            );
+                        }
+                        Err(e) => {
+                            guardrail_events.push(GuardrailEvent {
+                                iteration: iter,
+                                kind: GuardrailEventKind::CheckpointWriteFailed,
+                                detail: format!(
+                                    "{e} (previous checkpoint at {} still valid)",
+                                    policy.path.display()
+                                ),
+                            });
+                        }
                     }
                 }
             }

@@ -39,8 +39,15 @@ impl RunningMean {
     }
 
     /// Overwrites the smoothed value (checkpoint resume).
+    ///
+    /// Non-finite values are rejected by resetting to `None` (as if no
+    /// observation had been fed): a NaN seeded here would propagate through
+    /// every subsequent [`RunningMean::update`] and permanently disarm any
+    /// detector comparing against the mean. The checkpoint decoder
+    /// (`adr_core::state`) already refuses such snapshots with a typed
+    /// error; this is the defence for direct callers.
     pub fn restore(&mut self, value: Option<f32>) {
-        self.value = value;
+        self.value = value.filter(|v| v.is_finite());
     }
 }
 
@@ -135,9 +142,16 @@ impl PlateauDetector {
     }
 
     /// Restores a previously snapshotted observation window.
+    ///
+    /// Non-finite fields are sanitised rather than trusted: a NaN `best`
+    /// would make `current < threshold` unconditionally false and wedge the
+    /// detector. `+∞` is the legitimate "no best yet" sentinel and passes
+    /// through.
     pub fn restore(&mut self, state: &PlateauState) {
         self.smoothed.restore(state.smoothed);
-        self.best = state.best;
+        let poisoned =
+            state.best.is_nan() || (state.best.is_infinite() && state.best.is_sign_negative());
+        self.best = if poisoned { f32::INFINITY } else { state.best };
         self.stale = state.stale;
         self.seen = state.seen;
     }

@@ -1,0 +1,292 @@
+//! The BENCH file schema and its validator.
+//!
+//! `adr bench` emits two machine-readable perf snapshots per run —
+//! `BENCH_train.json` (the step-profile workload) and `BENCH_serve.json`
+//! (the serving workload) — so successive PRs accumulate a regression
+//! trajectory. CI re-parses the emitted files with [`validate`] and fails
+//! the build when the schema drifts; the format itself is documented in
+//! DESIGN.md §11.
+//!
+//! Wall-clock fields (`*_wall_ns`) vary run to run; every other field is
+//! deterministic for a fixed seed.
+
+use crate::json::Json;
+
+/// Schema tag of the training BENCH file.
+pub const TRAIN_SCHEMA: &str = "adr-bench-train/v1";
+/// Schema tag of the serving BENCH file.
+pub const SERVE_SCHEMA: &str = "adr-bench-serve/v1";
+
+/// Counter names every serving BENCH file must carry (mirrors
+/// `EngineReport::counters()`).
+pub const SERVE_COUNTER_NAMES: [&str; 12] = [
+    "admitted",
+    "completed",
+    "rejected_shape",
+    "rejected_non_finite",
+    "shed_overloaded",
+    "deadline_missed",
+    "failed_non_finite",
+    "batches",
+    "degraded_steps",
+    "recovered_steps",
+    "quarantined_batches",
+    "retried_batches",
+];
+
+/// Phase keys every per-layer `wall_ns` object must carry.
+pub const PHASE_KEYS: [&str; 5] = ["im2col", "hash", "cluster", "centroid_gemm", "scatter"];
+
+/// Validates a parsed BENCH document against whichever schema its `schema`
+/// field names.
+///
+/// # Errors
+///
+/// Returns a path-qualified message describing the first violation.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    let schema =
+        doc.get("schema").and_then(Json::as_str).ok_or("missing or non-string \"schema\" field")?;
+    match schema {
+        TRAIN_SCHEMA => validate_train(doc),
+        SERVE_SCHEMA => validate_serve(doc),
+        other => Err(format!("unknown schema tag {other:?}")),
+    }
+}
+
+fn require_uint(doc: &Json, path: &str, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{path}.{key}: missing or not an unsigned integer"))
+}
+
+fn require_num(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
+    let n = doc
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}.{key}: missing or not a number"))?;
+    if !n.is_finite() {
+        return Err(format!("{path}.{key}: not finite"));
+    }
+    Ok(n)
+}
+
+fn require_str<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}.{key}: missing or not a string"))
+}
+
+fn require_obj<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    let v = doc.get(key).ok_or_else(|| format!("{path}.{key}: missing"))?;
+    if v.as_obj().is_none() {
+        return Err(format!("{path}.{key}: not an object"));
+    }
+    Ok(v)
+}
+
+fn validate_workload(doc: &Json) -> Result<(), String> {
+    let workload = require_obj(doc, "$", "workload")?;
+    require_str(workload, "workload", "model")?;
+    require_uint(workload, "workload", "seed")?;
+    Ok(())
+}
+
+fn validate_train(doc: &Json) -> Result<(), String> {
+    validate_workload(doc)?;
+    let workload = require_obj(doc, "$", "workload")?;
+    require_uint(workload, "workload", "batch")?;
+    require_uint(workload, "workload", "steps")?;
+
+    let layers =
+        doc.get("layers").and_then(Json::as_arr).ok_or("$.layers: missing or not an array")?;
+    if layers.is_empty() {
+        return Err("$.layers: empty — the step profile must cover at least one reuse layer".into());
+    }
+    for (i, layer) in layers.iter().enumerate() {
+        let path = format!("layers[{i}]");
+        require_str(layer, &path, "layer")?;
+        let wall = require_obj(layer, &path, "wall_ns")?;
+        for phase in PHASE_KEYS {
+            require_uint(wall, &format!("{path}.wall_ns"), phase)?;
+        }
+        require_uint(wall, &format!("{path}.wall_ns"), "total")?;
+        require_uint(layer, &path, "flops_actual")?;
+        require_uint(layer, &path, "flops_exact")?;
+        require_num(layer, &path, "rc")?;
+        require_num(layer, &path, "clusters_avg")?;
+        require_num(layer, &path, "reuse_rate")?;
+        require_num(layer, &path, "modelled_cost")?;
+        require_num(layer, &path, "measured_cost")?;
+    }
+
+    let totals = require_obj(doc, "$", "totals")?;
+    require_uint(totals, "totals", "wall_ns")?;
+    require_uint(totals, "totals", "flops_actual")?;
+    require_uint(totals, "totals", "flops_exact")?;
+    require_num(totals, "totals", "flop_savings")?;
+    require_num(totals, "totals", "loss_final")?;
+    require_num(totals, "totals", "null_sink_overhead_pct")?;
+    Ok(())
+}
+
+fn validate_serve(doc: &Json) -> Result<(), String> {
+    validate_workload(doc)?;
+    let workload = require_obj(doc, "$", "workload")?;
+    require_uint(workload, "workload", "requests")?;
+
+    let counters = require_obj(doc, "$", "counters")?;
+    for name in SERVE_COUNTER_NAMES {
+        require_uint(counters, "counters", name)?;
+    }
+
+    let stages = doc
+        .get("requests_per_stage")
+        .and_then(Json::as_arr)
+        .ok_or("$.requests_per_stage: missing or not an array")?;
+    for (i, v) in stages.iter().enumerate() {
+        if v.as_u64().is_none() {
+            return Err(format!("$.requests_per_stage[{i}]: not an unsigned integer"));
+        }
+    }
+
+    let latency = doc
+        .get("latency_bucket_counts")
+        .and_then(Json::as_arr)
+        .ok_or("$.latency_bucket_counts: missing or not an array")?;
+    if latency.len() != 11 {
+        return Err(format!(
+            "$.latency_bucket_counts: expected 11 buckets (10 bounds + overflow), got {}",
+            latency.len()
+        ));
+    }
+    require_uint(doc, "$", "flops_actual")?;
+    require_uint(doc, "$", "flops_exact")?;
+    require_num(doc, "$", "flop_savings")?;
+    require_uint(doc, "$", "wall_ns")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    fn minimal_train() -> Json {
+        let wall = obj(vec![
+            ("im2col", Json::Uint(1)),
+            ("hash", Json::Uint(2)),
+            ("cluster", Json::Uint(3)),
+            ("centroid_gemm", Json::Uint(4)),
+            ("scatter", Json::Uint(5)),
+            ("total", Json::Uint(15)),
+        ]);
+        let layer = obj(vec![
+            ("layer", Json::Str("conv1".into())),
+            ("wall_ns", wall),
+            ("flops_actual", Json::Uint(100)),
+            ("flops_exact", Json::Uint(400)),
+            ("rc", Json::Num(0.25)),
+            ("clusters_avg", Json::Num(12.0)),
+            ("reuse_rate", Json::Num(0.0)),
+            ("modelled_cost", Json::Num(0.4)),
+            ("measured_cost", Json::Num(0.25)),
+        ]);
+        obj(vec![
+            ("schema", Json::Str(TRAIN_SCHEMA.into())),
+            (
+                "workload",
+                obj(vec![
+                    ("model", Json::Str("cifarnet".into())),
+                    ("batch", Json::Uint(8)),
+                    ("steps", Json::Uint(3)),
+                    ("seed", Json::Uint(42)),
+                ]),
+            ),
+            ("layers", Json::Arr(vec![layer])),
+            (
+                "totals",
+                obj(vec![
+                    ("wall_ns", Json::Uint(99)),
+                    ("flops_actual", Json::Uint(100)),
+                    ("flops_exact", Json::Uint(400)),
+                    ("flop_savings", Json::Num(0.75)),
+                    ("loss_final", Json::Num(1.2)),
+                    ("null_sink_overhead_pct", Json::Num(0.3)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn accepts_a_minimal_train_document() {
+        validate(&minimal_train()).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_schema_and_missing_fields() {
+        assert!(validate(&obj(vec![("schema", Json::Str("nope/v9".into()))])).is_err());
+        let mut doc = minimal_train();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "totals");
+        }
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("totals"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_layer_missing_a_phase() {
+        let mut doc = minimal_train();
+        if let Json::Obj(pairs) = &mut doc {
+            if let Some((_, Json::Arr(layers))) = pairs.iter_mut().find(|(k, _)| k == "layers") {
+                if let Json::Obj(layer) = &mut layers[0] {
+                    if let Some((_, Json::Obj(wall))) =
+                        layer.iter_mut().find(|(k, _)| k == "wall_ns")
+                    {
+                        wall.retain(|(k, _)| k != "hash");
+                    }
+                }
+            }
+        }
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("hash"), "{err}");
+    }
+
+    #[test]
+    fn serve_document_requires_all_engine_counters() {
+        let counters = obj(SERVE_COUNTER_NAMES.iter().map(|&n| (n, Json::Uint(0))).collect());
+        let doc = obj(vec![
+            ("schema", Json::Str(SERVE_SCHEMA.into())),
+            (
+                "workload",
+                obj(vec![
+                    ("model", Json::Str("cifarnet".into())),
+                    ("requests", Json::Uint(12)),
+                    ("seed", Json::Uint(42)),
+                ]),
+            ),
+            ("counters", counters),
+            ("requests_per_stage", Json::Arr(vec![Json::Uint(12)])),
+            ("latency_bucket_counts", Json::Arr((0..11).map(|_| Json::Uint(0)).collect())),
+            ("flops_actual", Json::Uint(10)),
+            ("flops_exact", Json::Uint(10)),
+            ("flop_savings", Json::Num(0.0)),
+            ("wall_ns", Json::Uint(1)),
+        ]);
+        validate(&doc).unwrap();
+
+        let mut broken = doc.clone();
+        if let Json::Obj(pairs) = &mut broken {
+            if let Some((_, Json::Obj(counters))) = pairs.iter_mut().find(|(k, _)| k == "counters")
+            {
+                counters.retain(|(k, _)| k != "batches");
+            }
+        }
+        let err = validate(&broken).unwrap_err();
+        assert!(err.contains("batches"), "{err}");
+    }
+}

@@ -159,4 +159,25 @@ mod tests {
         assert!(profitability_slack(&params(40, 5, 0.1)) > 0.0);
         assert!(profitability_slack(&params(40, 63, 0.9)) < 0.0);
     }
+
+    #[test]
+    fn empty_cluster_table_never_reads_as_free() {
+        // Regression: an empty ClusterTable used to report r_c = 0, which
+        // Eq. 5 scored as a maximally-clustered, nearly-free layer. With the
+        // degenerate case fixed to r_c = 1, the forward cost on empty input
+        // keeps its floor of H/M + 1/L *plus* the full remaining-ratio term.
+        let empty = adr_clustering::assign::ClusterTable::new(vec![]);
+        assert_eq!(empty.remaining_ratio().to_bits(), 1.0f64.to_bits());
+        for (l, h) in [(4, 1), (8, 8), (64, 32)] {
+            let p = CostParams { m: 64, l, h, rc: empty.remaining_ratio(), reuse_rate: 0.0 };
+            let floor = h as f64 / 64.0 + 1.0 / l as f64;
+            assert!(
+                forward_cost(&p) >= floor,
+                "forward_cost {} dropped below the H/M + 1/L floor {floor}",
+                forward_cost(&p)
+            );
+            // And strictly above it: the r_c = 1 term must be present.
+            assert!(forward_cost(&p) >= floor + 1.0 - 1e-15);
+        }
+    }
 }

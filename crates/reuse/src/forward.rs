@@ -97,7 +97,10 @@ pub fn reuse_forward(
     // One streaming pass produces every sub-vector signature (row-major:
     // sig_all[r * num_subs + i]).
     let hasher = PackedHasher::new(split, lsh);
-    let sig_all = hasher.hash_all(x_unf);
+    let sig_all = {
+        let _span = adr_obs::span_phase(adr_obs::Phase::Hash);
+        hasher.hash_all(x_unf)
+    };
 
     for (i, &(start, end)) in split.ranges().iter().enumerate() {
         let width = end - start;
@@ -105,6 +108,7 @@ pub fn reuse_forward(
         // clusters never span images; the signature itself stays the pure
         // LSH output (what the CR cache would key on).
         let h_bits = hasher.num_hashes();
+        let cluster_span = adr_obs::span_phase(adr_obs::Phase::Cluster);
         let (table, sigs) = match rows_per_image {
             None => {
                 cluster_from_signatures_with_bits((0..n).map(|r| sig_all[r * num_subs + i]), h_bits)
@@ -117,7 +121,9 @@ pub fn reuse_forward(
                 )
             }
         };
+        drop(cluster_span);
         stats.hash_flops += lsh[i].hashing_flops(n);
+        let gemm_span = adr_obs::span_phase(adr_obs::Phase::CentroidGemm);
         let cent = table.centroids_range(x_unf, start, end);
         adr_tensor::checked_finite_rows!(
             cent.as_slice(),
@@ -160,6 +166,7 @@ pub fn reuse_forward(
                 matmul_par(&cent, &w_i)
             }
         };
+        drop(gemm_span);
 
         adr_tensor::checked_shape!(
             y_c.shape(),
@@ -178,7 +185,9 @@ pub fn reuse_forward(
     }
 
     // Row-parallel reconstruction: out[r] = bias + Σ_I y_c^(I)[cluster_I(r)].
+    let scatter_span = adr_obs::span_phase(adr_obs::Phase::Scatter);
     let output = reconstruct(n, m, bias, &tables, &cluster_outputs);
+    drop(scatter_span);
     adr_tensor::checked_finite!(output.as_slice(), "reuse forward: reconstructed output");
 
     stats.avg_clusters = cluster_total as f64 / num_subs as f64;
@@ -199,9 +208,9 @@ fn reconstruct(
     cluster_outputs: &[Matrix],
 ) -> Matrix {
     let mut output = Matrix::zeros(n, m);
-    let hw = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    // Gather-and-add over cluster rows — memory-bound, like col2im.
     let work = n * m * tables.len();
-    let threads = hw.min((work / (1 << 18)).max(1)).min(n.max(1));
+    let threads = adr_tensor::par::memory_threads(work).min(n.max(1));
     if threads <= 1 {
         let out_slice = output.as_mut_slice();
         for r in 0..n {

@@ -77,9 +77,9 @@ impl PackedHasher {
         let n = x.rows();
         let subs = self.num_subs();
         let mut out = vec![0u64; n * subs];
-        let hw = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+        // Hashing is a dense projection — compute-bound, like GEMM.
         let work = n * self.k * self.h;
-        let threads = hw.min((work / (1 << 20)).max(1)).min(n.max(1));
+        let threads = adr_tensor::par::compute_threads(work).min(n.max(1));
         if threads <= 1 {
             self.hash_rows(x, 0, n, &mut out);
             return out;

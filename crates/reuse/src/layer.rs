@@ -254,6 +254,44 @@ impl ReuseConv2d {
         Some(training_step_cost(&p, self.config.cluster_reuse))
     }
 
+    /// Pushes the latest forward pass's reuse statistics into the installed
+    /// telemetry sink (DESIGN.md §11): per-layer `r_c`, cluster counts, the
+    /// across-batch hit rate, and per-phase FLOP attribution whose sum is
+    /// exactly `ReuseStats::total_forward_flops()`. No-op without a sink.
+    fn record_telemetry(&self, baseline: u64) {
+        if !adr_obs::is_active() {
+            return;
+        }
+        let layer = self.name.as_str();
+        let labels = [("layer", layer)];
+        adr_obs::counter_add("adr_reuse_batches", &labels, 1);
+        adr_obs::gauge_set("adr_reuse_rc", &labels, self.stats.avg_remaining_ratio);
+        adr_obs::histogram_record(
+            "adr_reuse_rc_per_batch",
+            &labels,
+            self.stats.avg_remaining_ratio,
+        );
+        adr_obs::gauge_set("adr_reuse_clusters_avg", &labels, self.stats.avg_clusters);
+        adr_obs::gauge_set("adr_reuse_hit_rate", &labels, self.stats.reuse_rate);
+        adr_obs::histogram_record("adr_reuse_hit_rate_per_batch", &labels, self.stats.reuse_rate);
+        // Per-phase FLOP attribution: im2col and cluster grouping perform no
+        // multiply–adds, so hash + centroid-GEMM + scatter cover the total.
+        let phases = [
+            ("hash", self.stats.hash_flops),
+            ("centroid_gemm", self.stats.gemm_flops),
+            ("scatter", self.stats.add_flops),
+        ];
+        for (phase, flops) in phases {
+            adr_obs::counter_add(
+                "adr_reuse_phase_flops",
+                &[("layer", layer), ("phase", phase)],
+                flops,
+            );
+        }
+        adr_obs::counter_add("adr_reuse_flops_actual", &labels, self.stats.total_forward_flops());
+        adr_obs::counter_add("adr_reuse_flops_exact", &labels, baseline);
+    }
+
     /// Mean across-batch reuse rate `R`; zero when CR = 0.
     ///
     /// Uses the in-flight batch's rate when available (the latest forward
@@ -331,7 +369,13 @@ impl Layer for ReuseConv2d {
     }
 
     fn forward(&mut self, input: &Tensor4, mode: Mode) -> Tensor4 {
-        let unfolded = im2col(input, &self.geom);
+        // Telemetry: attribute the phase spans below (and those inside
+        // `reuse_forward`) to this layer. No-op when no sink is installed.
+        adr_obs::enter_layer(&self.name);
+        let unfolded = {
+            let _span = adr_obs::span_phase(adr_obs::Phase::Im2col);
+            im2col(input, &self.geom)
+        };
         let (n, k) = unfolded.shape();
         let caches = if self.config.cluster_reuse {
             if mode == Mode::Train {
@@ -366,6 +410,7 @@ impl Layer for ReuseConv2d {
         self.stats = outcome.stats;
         let baseline = (n * k * self.out_channels) as u64;
         self.meter.add_forward(self.stats.total_forward_flops(), baseline);
+        self.record_telemetry(baseline);
         self.cached = (mode == Mode::Train).then_some(CachedForward {
             tables: outcome.tables,
             centroids: outcome.centroids,

@@ -173,6 +173,37 @@ impl EngineReport {
         ]
     }
 
+    /// Re-exports this report through the unified telemetry schema
+    /// (DESIGN.md §11): every [`EngineReport::counters`] entry becomes an
+    /// `adr_serve_<name>` counter, plus per-stage request attribution,
+    /// cumulative latency buckets, and the FLOP actual/exact pair.
+    ///
+    /// Counters are *added* to the installed sink, so call this once per
+    /// report against a fresh recorder (as `adr bench` does); calling it
+    /// twice double-counts. No-op without an installed sink.
+    pub fn export_metrics(&self) {
+        if !adr_obs::is_active() {
+            return;
+        }
+        for (name, value) in self.counters() {
+            adr_obs::counter_add(&format!("adr_serve_{name}"), &[], value);
+        }
+        for (stage, &count) in self.requests_per_stage.iter().enumerate() {
+            let stage = stage.to_string();
+            adr_obs::counter_add("adr_serve_requests", &[("stage", &stage)], count);
+        }
+        for (i, &count) in self.latency.counts().iter().enumerate() {
+            let le = match LATENCY_BUCKET_BOUNDS_MS.get(i) {
+                Some(bound) => bound.to_string(),
+                None => "+Inf".to_string(),
+            };
+            adr_obs::counter_add("adr_serve_latency_ms_bucket", &[("le", &le)], count);
+        }
+        adr_obs::counter_add("adr_serve_flops_actual", &[], self.flops_actual);
+        adr_obs::counter_add("adr_serve_flops_exact", &[], self.flops_exact);
+        adr_obs::gauge_set("adr_serve_flop_savings", &[], self.flop_savings());
+    }
+
     /// Multi-line human-readable summary.
     pub fn summary(&self) -> String {
         let mut out = String::new();

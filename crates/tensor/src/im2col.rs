@@ -127,8 +127,7 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeom) -> Matrix {
     let per_image_len = geom.in_h * geom.in_w * geom.in_c;
     // Each image's unfolded rows form a contiguous block of `out`, so the
     // batch parallelises with no synchronisation.
-    let hw = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    let threads = hw.min(nb.max(1)).min((n * k / (1 << 17)).max(1));
+    let threads = crate::par::memory_threads(n * k).min(nb.max(1));
     let out_slice = out.as_mut_slice();
     let unfold_image = |b: usize, block: &mut [f32]| {
         let image = &data[b * per_image_len..(b + 1) * per_image_len];
@@ -214,8 +213,7 @@ pub fn col2im(cols: &Matrix, geom: &ConvGeom, batch: usize) -> Tensor4 {
     let k = geom.k();
     // Image `b`'s gradients fold only into image `b`'s slice of the output,
     // so the batch parallelises with no synchronisation.
-    let hw = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    let threads = hw.min(batch.max(1)).min((cols.rows() * k / (1 << 17)).max(1));
+    let threads = crate::par::memory_threads(cols.rows() * k).min(batch.max(1));
     let cols_data = cols.as_slice();
     let out_slice = out.as_mut_slice();
     let fold_image = |b: usize, image: &mut [f32]| {

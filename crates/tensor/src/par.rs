@@ -6,16 +6,51 @@
 //! output, so no synchronisation is needed beyond the scope join.
 
 use crate::matrix::{gemm_rows, Matrix};
+use std::sync::OnceLock;
 
-/// Minimum per-thread work (in multiply–adds) below which threading is not
-/// worth the spawn cost; measured on x86-64 with the blocked kernel.
-const MIN_FLOPS_PER_THREAD: usize = 1 << 20;
+// Serial/parallel crossover thresholds, shared by every scoped-thread fan-out
+// in the workspace (GEMM and LSH hashing here and in `adr_reuse::hashpack`;
+// im2col/col2im/scatter in `im2col.rs` and `adr_reuse::forward`).
+//
+// Measurement rationale (x86-64, 8 hardware threads, release profile): a
+// `std::thread::scope` spawn+join round trip costs ~10–20 µs. Compute-bound
+// loops (blocked GEMM, hash projections) retire roughly one multiply–add per
+// cycle per lane, so ~1M multiply–adds ≈ 300 µs of work — comfortably above
+// the spawn cost, while smaller problems lose more to spawning than they
+// gain. Memory-bound loops (im2col gather, col2im scatter, cluster-output
+// reconstruction) move one element per couple of cycles but saturate DRAM
+// bandwidth well before the ALUs, so their break-even arrives earlier:
+// ~128K elements ≈ 512 KiB touched. Before this unification the same
+// crossover was written as three diverging literals (`1<<17`, `1<<18`,
+// `1<<20`) with no shared justification.
 
-/// Returns the number of worker threads to use for a problem of `flops`
-/// multiply–adds, capped by available parallelism.
-fn thread_count(flops: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.min((flops / MIN_FLOPS_PER_THREAD).max(1))
+/// Minimum per-thread work, in multiply–adds, for compute-bound fan-outs
+/// (GEMM row blocks, LSH signature projections).
+pub const COMPUTE_FLOPS_PER_THREAD: usize = 1 << 20;
+
+/// Minimum per-thread work, in elements moved, for memory-bound fan-outs
+/// (im2col/col2im copies, cluster-output reconstruction).
+pub const MEMORY_ELEMS_PER_THREAD: usize = 1 << 17;
+
+/// Available hardware parallelism, queried once per process.
+///
+/// `std::thread::available_parallelism` takes a syscall on most platforms;
+/// the hot paths used to re-query it on every call.
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Worker-thread count for a compute-bound problem of `flops` multiply–adds,
+/// capped by available parallelism; `1` means "stay serial".
+pub fn compute_threads(flops: usize) -> usize {
+    hardware_threads().min((flops / COMPUTE_FLOPS_PER_THREAD).max(1))
+}
+
+/// Worker-thread count for a memory-bound problem of `elems` elements moved,
+/// capped by available parallelism; `1` means "stay serial".
+pub fn memory_threads(elems: usize) -> usize {
+    hardware_threads().min((elems / MEMORY_ELEMS_PER_THREAD).max(1))
 }
 
 /// `a · b`, parallelised over row blocks of `a`.
@@ -37,7 +72,7 @@ pub fn matmul_par(a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let threads = thread_count(m * k * n);
+    let threads = compute_threads(m * k * n);
     if threads <= 1 || m < 2 {
         return a.matmul(b);
     }
@@ -86,7 +121,7 @@ pub fn matmul_range_t_b_par(a: &Matrix, col_range: (usize, usize), b: &Matrix) -
     let n = b.rows();
     let mut out = Matrix::zeros(m, n);
     let flops = m * width * n;
-    let threads = thread_count(flops).min(m.max(1));
+    let threads = compute_threads(flops).min(m.max(1));
     let a_data = a.as_slice();
     let b_ref = b;
     if threads <= 1 {

@@ -1,0 +1,279 @@
+//! The `adr bench` workloads: a seeded step-profile training run and a
+//! seeded serving burst, reduced to the machine-readable BENCH documents
+//! (`adr_obs::bench::TRAIN_SCHEMA` / `SERVE_SCHEMA`, DESIGN.md §11).
+//!
+//! Both workloads mirror the determinism suite's construction so the
+//! emitted *values* (FLOPs, ratios, counters) are bitwise-reproducible for
+//! a fixed seed; only the `*wall_ns` fields vary run to run.
+
+use crate::models::{cifarnet, ConvMode};
+use crate::prelude::*;
+use adr_obs::json::Json;
+use adr_obs::{Phase, Recorder, PHASE_TIME_METRIC};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Workload sizing for one `adr bench` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Output classes of the CifarNet-scale model.
+    pub classes: usize,
+    /// Training batch size.
+    pub batch: usize,
+    /// Training steps in the step profile.
+    pub steps: usize,
+    /// Requests in the serving burst.
+    pub requests: usize,
+    /// Seed for model init and synthetic data.
+    pub seed: u64,
+    /// Whether this is the reduced CI profile.
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// The reduced profile CI runs (`adr bench --quick`).
+    pub fn quick() -> Self {
+        Self { classes: 4, batch: 4, steps: 2, requests: 8, seed: 42, quick: true }
+    }
+
+    /// The default profile.
+    pub fn full() -> Self {
+        Self { classes: 4, batch: 8, steps: 6, requests: 24, seed: 42, quick: false }
+    }
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn u64_of(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// One pass of the step-profile training workload; returns the final loss.
+fn train_workload(cfg: &BenchConfig) -> (Network, f32) {
+    let mut rng = AdrRng::seeded(cfg.seed);
+    let mut net = cifarnet::bench_scale(cfg.classes, ConvMode::reuse_default(), &mut rng);
+    let mut data_rng = rng.split(1);
+    let mut pixels = vec![0.0f32; cfg.batch * 16 * 16 * 3];
+    data_rng.fill_gauss(&mut pixels);
+    let images =
+        Tensor4::from_vec(cfg.batch, 16, 16, 3, pixels).expect("bench image shape is consistent");
+    let labels: Vec<usize> = (0..cfg.batch).map(|_| data_rng.below(cfg.classes)).collect();
+    let mut sgd = Sgd::new(LrSchedule::Constant(0.05), 0.9, 0.0);
+    let mut loss = f32::NAN;
+    for _ in 0..cfg.steps {
+        adr_obs::begin_step();
+        loss = net.train_batch(&images, &labels, &mut sgd).loss;
+    }
+    (net, loss)
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Runs the step-profile workload three ways — uninstrumented, with the
+/// `NullSink`, and with a collecting [`Recorder`] — and assembles the
+/// `BENCH_train.json` document: per-layer per-phase wall time, actual vs.
+/// exact FLOPs, and modelled (Eq. 5/6/12/20) vs. measured relative cost.
+pub fn run_train_bench(cfg: &BenchConfig) -> Json {
+    // Warm-up pass so first-touch allocation noise doesn't land in either
+    // timed variant.
+    let _ = train_workload(cfg);
+
+    // Overhead measurement: best-of-two per variant, so one scheduler
+    // hiccup doesn't masquerade as instrumentation cost.
+    let timed = |cfg: &BenchConfig| {
+        let start = Instant::now();
+        let _ = train_workload(cfg);
+        elapsed_ns(start)
+    };
+
+    // Baseline: no sink installed — the compiled-in default path.
+    let bare_ns = timed(cfg).min(timed(cfg));
+
+    // NullSink installed: instrumentation calls reach a discarding sink.
+    let null_ns = {
+        let _guard = adr_obs::install(Rc::new(adr_obs::NullSink));
+        timed(cfg).min(timed(cfg))
+    };
+    let overhead_pct =
+        if bare_ns == 0 { 0.0 } else { (null_ns as f64 - bare_ns as f64) / bare_ns as f64 * 100.0 };
+
+    // Recorder installed: the measured run the document reports.
+    let recorder = Recorder::new();
+    let guard = adr_obs::install(Rc::new(recorder.clone()));
+    let start = Instant::now();
+    let (mut net, loss_final) = train_workload(cfg);
+    let wall_ns = elapsed_ns(start);
+    drop(guard);
+
+    let mut layers = Vec::new();
+    let mut flops_actual_total = 0u64;
+    let mut flops_exact_total = 0u64;
+    for layer in net.layers_mut() {
+        let name = layer.name().to_string();
+        let actual = layer.flops();
+        let exact = layer.baseline_flops();
+        let Some(reuse) = layer.as_any_mut().and_then(|a| a.downcast_mut::<ReuseConv2d>()) else {
+            continue;
+        };
+        let stats = reuse.stats();
+        flops_actual_total += actual.total();
+        flops_exact_total += exact.total();
+        let mut wall = Vec::new();
+        let mut layer_total_ns = 0u64;
+        for phase in Phase::ALL {
+            let stat = recorder
+                .time(PHASE_TIME_METRIC, &[("layer", name.as_str()), ("phase", phase.as_str())])
+                .unwrap_or_default();
+            layer_total_ns += stat.total_ns;
+            wall.push((phase.as_str(), Json::Uint(stat.total_ns)));
+        }
+        wall.push(("total", Json::Uint(layer_total_ns)));
+        let measured_cost =
+            if exact.total() == 0 { 1.0 } else { actual.total() as f64 / exact.total() as f64 };
+        layers.push(obj(vec![
+            ("layer", Json::Str(name.clone())),
+            ("wall_ns", obj(wall)),
+            ("flops_actual", Json::Uint(actual.total())),
+            ("flops_exact", Json::Uint(exact.total())),
+            ("rc", Json::Num(stats.avg_remaining_ratio)),
+            ("clusters_avg", Json::Num(stats.avg_clusters)),
+            ("reuse_rate", Json::Num(stats.reuse_rate)),
+            ("modelled_cost", Json::Num(reuse.modelled_step_cost().unwrap_or(1.0))),
+            ("measured_cost", Json::Num(measured_cost)),
+        ]));
+    }
+
+    let flop_savings = if flops_exact_total == 0 {
+        0.0
+    } else {
+        1.0 - flops_actual_total as f64 / flops_exact_total as f64
+    };
+    obj(vec![
+        ("schema", Json::Str(adr_obs::bench::TRAIN_SCHEMA.to_string())),
+        (
+            "workload",
+            obj(vec![
+                ("model", Json::Str("cifarnet".to_string())),
+                ("classes", Json::Uint(u64_of(cfg.classes))),
+                ("batch", Json::Uint(u64_of(cfg.batch))),
+                ("steps", Json::Uint(u64_of(cfg.steps))),
+                ("seed", Json::Uint(cfg.seed)),
+                ("quick", Json::Bool(cfg.quick)),
+            ]),
+        ),
+        ("layers", Json::Arr(layers)),
+        (
+            "totals",
+            obj(vec![
+                ("wall_ns", Json::Uint(wall_ns)),
+                ("flops_actual", Json::Uint(flops_actual_total)),
+                ("flops_exact", Json::Uint(flops_exact_total)),
+                ("flop_savings", Json::Num(flop_savings)),
+                ("loss_final", Json::Num(f64::from(loss_final))),
+                ("null_sink_overhead_pct", Json::Num(overhead_pct)),
+            ]),
+        ),
+    ])
+}
+
+/// Runs the serving burst and assembles the `BENCH_serve.json` document:
+/// the full `EngineReport` counter set, per-stage attribution, latency
+/// buckets, and actual-vs-exact FLOPs. The report is also re-exported
+/// through the telemetry schema so the recorder path stays covered.
+pub fn run_serve_bench(cfg: &BenchConfig) -> Result<Json, String> {
+    let mut rng = AdrRng::seeded(cfg.seed);
+    let net = cifarnet::bench_scale(cfg.classes, ConvMode::reuse_default(), &mut rng);
+    let engine_cfg = EngineConfig {
+        queue_capacity: cfg.requests.max(4),
+        max_batch: 4,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::with_clock(net, engine_cfg, Box::new(ManualClock::new()))
+        .map_err(|e| format!("engine construction failed: {e}"))?;
+
+    let mut data_rng = rng.split(2);
+    let mut images = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        let mut pixels = vec![0.0f32; 16 * 16 * 3];
+        data_rng.fill_gauss(&mut pixels);
+        let image = Tensor4::from_vec(1, 16, 16, 3, pixels)
+            .ok_or_else(|| "bench image shape is inconsistent".to_string())?;
+        images.push(image);
+    }
+
+    let start = Instant::now();
+    let outcomes = engine.serve_all(&images);
+    let wall_ns = elapsed_ns(start);
+    let completed = outcomes.into_iter().flatten().count();
+    let report = engine.into_report();
+    if completed == 0 {
+        return Err("serving burst completed no requests".to_string());
+    }
+
+    // Round-trip the report through the unified schema: what an operator's
+    // scrape of a live engine would see.
+    let recorder = Recorder::new();
+    {
+        let _guard = adr_obs::install(Rc::new(recorder.clone()));
+        report.export_metrics();
+    }
+
+    let counters =
+        obj(report.counters().into_iter().map(|(name, v)| (name, Json::Uint(v))).collect());
+    Ok(obj(vec![
+        ("schema", Json::Str(adr_obs::bench::SERVE_SCHEMA.to_string())),
+        (
+            "workload",
+            obj(vec![
+                ("model", Json::Str("cifarnet".to_string())),
+                ("classes", Json::Uint(u64_of(cfg.classes))),
+                ("requests", Json::Uint(u64_of(cfg.requests))),
+                ("max_batch", Json::Uint(4)),
+                ("seed", Json::Uint(cfg.seed)),
+                ("quick", Json::Bool(cfg.quick)),
+            ]),
+        ),
+        ("counters", counters),
+        (
+            "requests_per_stage",
+            Json::Arr(report.requests_per_stage.iter().map(|&n| Json::Uint(n)).collect()),
+        ),
+        (
+            "latency_bucket_counts",
+            Json::Arr(report.latency.counts().iter().map(|&n| Json::Uint(n)).collect()),
+        ),
+        ("flops_actual", Json::Uint(report.flops_actual)),
+        ("flops_exact", Json::Uint(report.flops_exact)),
+        ("flop_savings", Json::Num(report.flop_savings())),
+        ("wall_ns", Json::Uint(wall_ns)),
+        ("scrape_counters", Json::Uint(u64_of(recorder.counters().len()))),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn train_bench_emits_a_schema_valid_document() {
+        let doc = run_train_bench(&BenchConfig::quick());
+        adr_obs::bench::validate(&doc).unwrap();
+        // Round-trip through bytes, as CI does.
+        let reparsed = Json::parse(&doc.render_pretty()).unwrap();
+        adr_obs::bench::validate(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn serve_bench_emits_a_schema_valid_document() {
+        let doc = run_serve_bench(&BenchConfig::quick()).unwrap();
+        adr_obs::bench::validate(&doc).unwrap();
+        let admitted = doc.get("counters").unwrap().get("admitted").and_then(Json::as_u64);
+        assert_eq!(admitted, Some(8));
+    }
+}

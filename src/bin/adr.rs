@@ -18,6 +18,11 @@
 //!   `readyz`, `quit`); `--demo N` runs a reproducible burst of N synthetic
 //!   requests instead, `--listen HOST:PORT` speaks the same protocol over
 //!   TCP, one connection at a time.
+//! * `adr bench [--quick] [--json] [--seed N] [--steps N] [--batch N]
+//!   [--requests N] [--out-dir DIR]` — run the seeded step-profile and
+//!   serving workloads and atomically emit schema-validated
+//!   `BENCH_train.json` / `BENCH_serve.json` (DESIGN.md §11);
+//!   `--validate FILE` re-checks an existing document instead.
 //!
 //! Everything is deterministic given `--seed`.
 
@@ -50,9 +55,15 @@ impl Args {
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value =
-                    it.next().ok_or_else(|| format!("option --{key} is missing a value"))?;
-                options.insert(key.to_string(), value.clone());
+                // A `--key` followed by another option (or nothing) is a
+                // boolean flag: `adr bench --quick --json`.
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        it.next().map_or_else(|| "true".to_string(), Clone::clone)
+                    }
+                    _ => "true".to_string(),
+                };
+                options.insert(key.to_string(), value);
             } else {
                 positional.push(arg.clone());
             }
@@ -69,6 +80,10 @@ impl Args {
 
     fn get_str(&self, key: &str, default: &str) -> String {
         self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v == "true")
     }
 }
 
@@ -346,7 +361,71 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: adr <train|eval|similarity|serve> [options]
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use adaptive_deep_reuse::bench::{run_serve_bench, run_train_bench, BenchConfig};
+    use adaptive_deep_reuse::obs;
+
+    // `adr bench --validate FILE` re-checks an already emitted document —
+    // this is what CI runs against the uploaded artifacts.
+    if let Some(path) = args.options.get("validate") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc = obs::json::Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        obs::bench::validate(&doc).map_err(|e| format!("{path}: schema violation: {e}"))?;
+        println!(
+            "{path}: ok ({})",
+            doc.get("schema").and_then(obs::json::Json::as_str).unwrap_or("?")
+        );
+        return Ok(());
+    }
+
+    let mut cfg = if args.flag("quick") { BenchConfig::quick() } else { BenchConfig::full() };
+    cfg.seed = args.get("seed", cfg.seed)?;
+    cfg.steps = args.get("steps", cfg.steps)?;
+    cfg.batch = args.get("batch", cfg.batch)?;
+    cfg.requests = args.get("requests", cfg.requests)?;
+    let out_dir = args.get_str("out-dir", ".");
+
+    let train_doc = run_train_bench(&cfg);
+    obs::bench::validate(&train_doc).map_err(|e| format!("BENCH_train schema violation: {e}"))?;
+    let serve_doc = run_serve_bench(&cfg)?;
+    obs::bench::validate(&serve_doc).map_err(|e| format!("BENCH_serve schema violation: {e}"))?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    let train_path = std::path::Path::new(&out_dir).join("BENCH_train.json");
+    let serve_path = std::path::Path::new(&out_dir).join("BENCH_serve.json");
+    obs::export::write_json(&train_path, &train_doc)
+        .map_err(|e| format!("writing {}: {e}", train_path.display()))?;
+    obs::export::write_json(&serve_path, &serve_doc)
+        .map_err(|e| format!("writing {}: {e}", serve_path.display()))?;
+
+    if args.flag("json") {
+        println!("{}", train_doc.render_pretty());
+        println!("{}", serve_doc.render_pretty());
+    } else {
+        let savings = train_doc
+            .get("totals")
+            .and_then(|t| t.get("flop_savings"))
+            .and_then(obs::json::Json::as_f64)
+            .unwrap_or(0.0);
+        println!(
+            "train: {} steps, batch {}, seed {} -> {:.1}% forward FLOPs saved",
+            cfg.steps,
+            cfg.batch,
+            cfg.seed,
+            savings * 100.0
+        );
+        let completed = serve_doc
+            .get("counters")
+            .and_then(|c| c.get("completed"))
+            .and_then(obs::json::Json::as_u64)
+            .unwrap_or(0);
+        println!("serve: {completed}/{} requests completed", cfg.requests);
+        println!("wrote {} and {}", train_path.display(), serve_path.display());
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: adr <train|eval|similarity|serve|bench> [options]
   adr train      [--model M] [--strategy S] [--iterations N] [--classes N]
                  [--batch N] [--lr F] [--seed N] [--sub-vector L] [--hashes H]
                  [--checkpoint PATH]
@@ -354,7 +433,9 @@ const USAGE: &str = "usage: adr <train|eval|similarity|serve> [options]
   adr similarity [--hashes H] [--sub-vector L] [--seed N]
   adr serve      --checkpoint PATH [--model M] [--classes N] [--seed N]
                  [--queue N] [--max-batch N] [--deadline-ms N]
-                 [--demo N] [--listen HOST:PORT]";
+                 [--demo N] [--listen HOST:PORT]
+  adr bench      [--quick] [--json] [--seed N] [--steps N] [--batch N]
+                 [--requests N] [--out-dir DIR] | --validate FILE";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -370,6 +451,7 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args),
         Some("similarity") => cmd_similarity(&args),
         Some("serve") => cmd_serve(&args),
+        Some("bench") => cmd_bench(&args),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;

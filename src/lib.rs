@@ -16,6 +16,10 @@
 //! * [`models`] — CifarNet / AlexNet / VGG-19 builders.
 //! * [`serve`] — deadline-aware inference serving: bounded admission,
 //!   micro-batching, load-shedding, and a reuse degradation ladder.
+//! * [`obs`] — deterministic telemetry: metric sinks, span timers,
+//!   Prometheus/JSON exporters, and the BENCH document schema.
+//! * [`bench`] — the seeded `adr bench` workloads that emit
+//!   `BENCH_train.json` / `BENCH_serve.json`.
 //!
 //! ## Quickstart
 //!
@@ -33,6 +37,7 @@
 // Tests assert on values they just constructed; unwrap there is the idiom.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod bench;
 pub mod source;
 
 pub use adr_clustering as clustering;
@@ -40,6 +45,7 @@ pub use adr_core as adaptive;
 pub use adr_data as data;
 pub use adr_models as models;
 pub use adr_nn as nn;
+pub use adr_obs as obs;
 pub use adr_reuse as reuse;
 pub use adr_serve as serve;
 pub use adr_tensor as tensor;

@@ -222,3 +222,66 @@ fn corrupt_file_on_disk_fails_closed_via_load() {
     assert!(matches!(TrainState::load(&missing).unwrap_err(), StateError::Io(_)));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Non-finite plateau state: a checkpoint carrying a NaN/-inf detector window
+// would silently disarm adaptation after resume (NaN comparisons are always
+// false), so deserialization rejects it outright.
+// ---------------------------------------------------------------------------
+
+use adaptive_deep_reuse::adaptive::controller::ControllerState;
+use adaptive_deep_reuse::nn::metrics::PlateauState;
+
+fn poisoned_roundtrip(mutate: impl FnOnce(&mut TrainState)) -> StateError {
+    let (_, _, mut state) = sample_state();
+    mutate(&mut state);
+    TrainState::from_bytes(&state.to_bytes()).unwrap_err()
+}
+
+#[test]
+fn nan_plateau_smoothed_loss_is_typed() {
+    let err = poisoned_roundtrip(|state| {
+        state.controller = Some(ControllerState {
+            stage: 1,
+            plateau: PlateauState { smoothed: Some(f32::NAN), best: 1.0, stale: 0, seen: 2 },
+        });
+    });
+    assert!(matches!(err, StateError::Malformed(_)), "expected Malformed, got {err}");
+    assert!(err.to_string().contains("not finite"), "unexpected message: {err}");
+}
+
+#[test]
+fn nan_plateau_best_loss_is_typed() {
+    let err = poisoned_roundtrip(|state| {
+        state.cr_plateau =
+            Some(PlateauState { smoothed: Some(0.5), best: f32::NAN, stale: 1, seen: 3 });
+    });
+    assert!(matches!(err, StateError::Malformed(_)), "expected Malformed, got {err}");
+}
+
+#[test]
+fn negative_infinite_plateau_best_is_typed() {
+    let err = poisoned_roundtrip(|state| {
+        state.controller = Some(ControllerState {
+            stage: 0,
+            plateau: PlateauState {
+                smoothed: Some(0.5),
+                best: f32::NEG_INFINITY,
+                stale: 0,
+                seen: 1,
+            },
+        });
+    });
+    assert!(matches!(err, StateError::Malformed(_)), "expected Malformed, got {err}");
+}
+
+#[test]
+fn positive_infinite_plateau_best_still_roundtrips() {
+    // `+inf` is the legitimate "no best yet" sentinel a fresh detector
+    // starts from; rejecting it would break resuming an early checkpoint.
+    let (_, _, mut state) = sample_state();
+    let plateau = PlateauState { smoothed: None, best: f32::INFINITY, stale: 0, seen: 0 };
+    state.controller = Some(ControllerState { stage: 0, plateau });
+    let restored = TrainState::from_bytes(&state.to_bytes()).unwrap();
+    assert_eq!(restored.controller, Some(ControllerState { stage: 0, plateau }));
+}

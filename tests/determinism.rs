@@ -133,3 +133,36 @@ fn serving_the_same_stream_twice_is_bitwise_identical() {
     assert_eq!(report_a.rejected_non_finite, 1);
     std::fs::remove_file(&path).ok();
 }
+
+/// The telemetry determinism contract (DESIGN.md §11): everything a sink
+/// records *except wall times* is part of the deterministic surface. Two
+/// identical seeded instrumented runs must export bitwise-identical value
+/// telemetry, and installing a sink must not perturb training itself.
+#[test]
+fn exported_telemetry_is_bitwise_reproducible() {
+    use adaptive_deep_reuse::obs;
+    use std::rc::Rc;
+
+    let instrumented = |seed: u64| -> (String, RunTrace) {
+        let recorder = obs::Recorder::new();
+        let guard = obs::install(Rc::new(recorder.clone()));
+        let trace = run(seed);
+        drop(guard);
+        (recorder.to_json_lines(false), trace)
+    };
+
+    let (lines_a, trace_a) = instrumented(42);
+    let (lines_b, trace_b) = instrumented(42);
+    assert!(!lines_a.is_empty(), "instrumented training exported no telemetry");
+    assert_eq!(lines_a, lines_b, "value telemetry diverged between identical runs");
+    assert!(
+        !lines_a.contains(obs::PHASE_TIME_METRIC),
+        "wall-clock metrics leaked into the deterministic export"
+    );
+
+    // The sink is an observer: the observed run must match an unobserved one.
+    let bare = run(42);
+    assert_eq!(trace_a.loss_bits, bare.loss_bits, "telemetry perturbed training losses");
+    assert_eq!(trace_a.weight_bits, bare.weight_bits, "telemetry perturbed learned weights");
+    assert_eq!(trace_b.cluster_counts, bare.cluster_counts);
+}
