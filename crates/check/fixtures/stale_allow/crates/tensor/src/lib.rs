@@ -1,0 +1,6 @@
+//! Minimal crate for allowlist-staleness tests: one audited unwrap that a
+//! well-formed entry suppresses.
+
+pub fn pick(risky: Option<u32>) -> u32 {
+    risky.unwrap()
+}

@@ -1,0 +1,12 @@
+//! Approved kernel module: raw-pointer and unchecked access is sanctioned
+//! here (see `APPROVED_KERNEL_MODULES`), so this file must stay quiet.
+
+/// Sums the first `n` elements without bounds checks.
+pub fn kernel_sum(v: &[f32], n: usize) -> f32 {
+    let mut total = 0.0;
+    for i in 0..n {
+        // SAFETY: the caller asserted n <= v.len().
+        total += unsafe { *v.get_unchecked(i) };
+    }
+    total
+}

@@ -27,12 +27,29 @@
 //!   the checkpoint-adjacent crates (`nn`, `core`); every persistent
 //!   artifact must go through `durable::write_atomic` (temp + fsync +
 //!   atomic rename) so a crash can never tear it.
+//! * [`conc::unsafe_contract`] — every `unsafe` site needs its `// SAFETY:`
+//!   comment (or `# Safety` doc section); raw-pointer/`get_unchecked` code
+//!   is confined to the approved kernel modules.
+//! * [`conc::atomic_ordering`] — `Relaxed` atomic reads in
+//!   float-accumulating functions are denied; every other explicit
+//!   `Ordering` choice needs a categorized `ordering-*` allowlist audit.
+//! * [`conc::lock_order`] — the inter-procedural lock-acquisition graph
+//!   must be acyclic; cycles are reported as potential deadlocks with the
+//!   full acquisition trace.
+//! * [`conc::scoped_capture`] — mutable bindings captured across a spawn
+//!   boundary must derive from a provably disjoint split
+//!   (`split_at_mut`/`chunks_mut`).
+//! * [`conc::par_reduction`] — float accumulation into shared state inside
+//!   a spawn closure is denied (no fixed reduction order); fold per-thread
+//!   partials sequentially after the join.
 //!
 //! The v1 lints are lexical pairings on the comment/literal-blanked token
 //! stream; the v2 lints add binding-level dataflow facts ([`parser`]) on
-//! top of the same lexer. There is still no `syn` dependency — the
-//! workspace builds fully offline. See `DESIGN.md` ("Invariants & static
-//! checks") for the contract, including each lint's accepted imprecision.
+//! top of the same lexer; the v3 lints add concurrency facts ([`conc`])
+//! including a cross-file lock graph. There is still no `syn` dependency —
+//! the workspace builds fully offline. See `DESIGN.md` ("Invariants &
+//! static checks" and §12) for the contract, including each lint's
+//! accepted imprecision.
 //!
 //! Besides source lints, the crate hosts the static model-graph verifier
 //! ([`shapegraph`], exposed as `adr-check shapes`): it propagates
@@ -45,9 +62,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod allowlist;
+pub mod conc;
 pub mod lexer;
 pub mod lints;
 pub mod parser;
+pub mod sarif;
 pub mod scan;
 pub mod shapegraph;
 
@@ -75,6 +94,14 @@ pub const GRAD_COVERAGE_CRATES: &[&str] = &["nn"];
 /// `obs` exports metrics and BENCH documents that CI parses right after
 /// the writing process exits — a torn write would fail the pipeline.
 pub const DURABLE_IO_CRATES: &[&str] = &["nn", "core", "serve", "obs"];
+/// Crates subject to the concurrency/unsafe lints — everywhere threads,
+/// locks, atomics, or `unsafe` could plausibly appear. The SIMD-kernel and
+/// sharded-training work (ROADMAP items 1–2) lands in `tensor`, `reuse`,
+/// and `core`; the rest are included so stray concurrency cannot hide.
+pub const CONC_CRATES: &[&str] = &["tensor", "nn", "reuse", "clustering", "core", "serve", "obs"];
+
+/// Allowlist categories accepted by `adr::atomic_ordering` suppressions.
+const ORDERING_CATEGORIES: &[&str] = &["ordering-counter", "ordering-handoff"];
 
 /// Everything one run produced.
 pub struct Report {
@@ -82,14 +109,19 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Allowlist entries that matched nothing (stale audits).
     pub unused_allow: Vec<String>,
+    /// Allowlist entries with a missing or unknown audit category.
+    pub bad_category: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Rendered lock-order graph edges (`adr-check conc` output).
+    pub lock_graph: Vec<String>,
 }
 
 impl Report {
-    /// True when the workspace is clean (no findings, no stale allows).
+    /// True when the workspace is clean (no findings, no stale or
+    /// malformed allows).
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty() && self.unused_allow.is_empty()
+        self.findings.is_empty() && self.unused_allow.is_empty() && self.bad_category.is_empty()
     }
 }
 
@@ -102,6 +134,28 @@ impl Report {
 /// Returns a message when the root is not a workspace or a source file or
 /// the allowlist cannot be read/parsed.
 pub fn run_checks(root: &Path) -> Result<Report, String> {
+    run_impl(root, false)
+}
+
+/// Runs only the concurrency lints (`adr-check conc`): the five
+/// `conc::*` passes plus the rendered lock-order graph, for local
+/// iteration on threaded code without the sequential lints' noise.
+///
+/// Allowlist staleness is *not* reported here — a conc-only run legitimately
+/// leaves every sequential-lint entry unmatched; the full [`run_checks`]
+/// pass is the authority on stale entries.
+///
+/// # Errors
+/// Returns a message when the root is not a workspace or a source file or
+/// the allowlist cannot be read/parsed.
+pub fn run_conc(root: &Path) -> Result<Report, String> {
+    let mut report = run_impl(root, true)?;
+    report.unused_allow.clear();
+    report.bad_category.clear();
+    Ok(report)
+}
+
+fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!("{} has no crates/ directory — not a workspace root", root.display()));
@@ -130,6 +184,7 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
 
     let mut findings = Vec::new();
     let mut layer_impls = Vec::new();
+    let mut all_fns: Vec<conc::FnConc> = Vec::new();
     let mut files_scanned = 0usize;
     let mut lint_crates: Vec<(&str, Vec<Lint>)> = Vec::new();
     let all_crates = NO_PANIC_CRATES
@@ -139,7 +194,8 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         .chain(DETERMINISM_CRATES)
         .chain(FLOAT_EQ_CRATES)
         .chain(GRAD_COVERAGE_CRATES)
-        .chain(DURABLE_IO_CRATES);
+        .chain(DURABLE_IO_CRATES)
+        .chain(CONC_CRATES);
     for name in all_crates {
         if !lint_crates.iter().any(|(n, _)| n == name) {
             let mut lints = Vec::new();
@@ -170,7 +226,8 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         if !src.is_dir() {
             continue; // fixture workspaces may model only some crates
         }
-        let collect_impls = GRAD_COVERAGE_CRATES.contains(crate_name);
+        let collect_impls = GRAD_COVERAGE_CRATES.contains(crate_name) && !conc_only;
+        let conc_crate = CONC_CRATES.contains(crate_name);
         for path in rust_files(&src)? {
             let rel = rel_path(root, &path);
             let text = std::fs::read_to_string(&path)
@@ -178,16 +235,33 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
             let model = FileModel::parse(&text);
             files_scanned += 1;
             let mut file_findings = Vec::new();
-            for lint in lints {
-                match lint {
-                    Lint::NoPanic => file_findings.extend(lints::no_panic(&rel, &model)),
-                    Lint::FlopCoverage => file_findings.extend(lints::flop_coverage(&rel, &model)),
-                    Lint::ShapeDocs => file_findings.extend(lints::shape_docs(&rel, &model)),
-                    Lint::Determinism => file_findings.extend(lints::determinism(&rel, &model)),
-                    Lint::FloatEq => file_findings.extend(lints::float_eq(&rel, &model)),
-                    Lint::DurableIo => file_findings.extend(lints::durable_io(&rel, &model)),
-                    Lint::GradCoverage => {}
+            if !conc_only {
+                for lint in lints {
+                    match lint {
+                        Lint::NoPanic => file_findings.extend(lints::no_panic(&rel, &model)),
+                        Lint::FlopCoverage => {
+                            file_findings.extend(lints::flop_coverage(&rel, &model))
+                        }
+                        Lint::ShapeDocs => file_findings.extend(lints::shape_docs(&rel, &model)),
+                        Lint::Determinism => file_findings.extend(lints::determinism(&rel, &model)),
+                        Lint::FloatEq => file_findings.extend(lints::float_eq(&rel, &model)),
+                        Lint::DurableIo => file_findings.extend(lints::durable_io(&rel, &model)),
+                        _ => {}
+                    }
                 }
+            }
+            if conc_crate {
+                let uses = parser::UseMap::collect(&model.cleaned);
+                let facts = conc::collect(&rel, &model, &uses);
+                file_findings.extend(conc::unsafe_contract(&rel, &model, &facts));
+                file_findings.extend(conc::scoped_capture(&rel, &model, &facts));
+                file_findings.extend(conc::par_reduction(&rel, &model, &facts));
+                // `atomic_ordering` suppressions must carry an `ordering-*`
+                // category — a generic audit comment is not enough.
+                findings.extend(conc::atomic_ordering(&rel, &model, &facts).into_iter().filter(
+                    |f| !allow.allows_categorized(&f.file, &f.line_text, ORDERING_CATEGORIES),
+                ));
+                all_fns.extend(facts.fns);
             }
             if collect_impls {
                 layer_impls.extend(lints::layer_impls(&rel, &model));
@@ -197,11 +271,18 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         }
     }
 
-    findings.extend(
-        lints::grad_coverage(&layer_impls, &registry)
-            .into_iter()
-            .filter(|f| !allow.allows(&f.file, &f.line_text)),
-    );
+    if !conc_only {
+        findings.extend(
+            lints::grad_coverage(&layer_impls, &registry)
+                .into_iter()
+                .filter(|f| !allow.allows(&f.file, &f.line_text)),
+        );
+    }
+
+    // The lock-order graph is inter-procedural: it needs every scanned
+    // function before edges (and cycles) can be derived.
+    let (lock_findings, lock_graph) = conc::lock_order(&all_fns);
+    findings.extend(lock_findings.into_iter().filter(|f| !allow.allows(&f.file, &f.line_text)));
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     let unused_allow = allow
@@ -209,7 +290,8 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
         .into_iter()
         .map(|e| format!("adr-check.allow:{}: `{}: {}` matched nothing", e.line, e.path, e.pattern))
         .collect();
-    Ok(Report { findings, unused_allow, files_scanned })
+    let bad_category = allow.category_errors();
+    Ok(Report { findings, unused_allow, bad_category, files_scanned, lock_graph })
 }
 
 /// All `.rs` files under `dir`, recursively, sorted for stable output.

@@ -29,6 +29,18 @@ pub enum Lint {
     GradCoverage,
     /// Bare (non-atomic) file write in checkpoint-adjacent code.
     DurableIo,
+    /// `unsafe` site without its justification, or raw-pointer code
+    /// outside the approved kernel modules.
+    UnsafeContract,
+    /// Atomic ordering that is either denied (`Relaxed` read near float
+    /// accumulation) or unaudited.
+    AtomicOrdering,
+    /// Cycle in the inter-procedural lock-acquisition graph.
+    LockOrder,
+    /// Non-disjoint mutable capture crossing a spawn boundary.
+    ScopedCapture,
+    /// Unordered float reduction inside a parallel region.
+    ParReduction,
 }
 
 impl Lint {
@@ -42,8 +54,55 @@ impl Lint {
             Lint::FloatEq => "adr::float_eq",
             Lint::GradCoverage => "adr::grad_coverage",
             Lint::DurableIo => "adr::durable_io",
+            Lint::UnsafeContract => "adr::unsafe_contract",
+            Lint::AtomicOrdering => "adr::atomic_ordering",
+            Lint::LockOrder => "adr::lock_order",
+            Lint::ScopedCapture => "adr::scoped_capture",
+            Lint::ParReduction => "adr::par_reduction",
         }
     }
+
+    /// One-line rule description (SARIF `shortDescription`).
+    pub fn description(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "No panicking constructs in hot-path library code",
+            Lint::FlopCoverage => "Every GEMM call site pairs with a FLOP-meter update",
+            Lint::ShapeDocs => "Public dimension-taking functions document their # Shape contract",
+            Lint::Determinism => "No OS entropy or hash-order float reduction in numeric code",
+            Lint::FloatEq => "No exact float ==/!= outside tests",
+            Lint::GradCoverage => "Every Layer impl is registered in the gradient-check suite",
+            Lint::DurableIo => "Persistent artifacts are written via the atomic durable helper",
+            Lint::UnsafeContract => {
+                "Every unsafe site carries its SAFETY justification; raw pointers stay in \
+                 approved kernel modules"
+            }
+            Lint::AtomicOrdering => {
+                "Every atomic Ordering choice is audited; Relaxed reads near float \
+                 accumulation are denied"
+            }
+            Lint::LockOrder => "The inter-procedural lock-acquisition graph is acyclic",
+            Lint::ScopedCapture => {
+                "Mutable captures crossing a spawn boundary are provably disjoint"
+            }
+            Lint::ParReduction => "Float reductions in parallel regions use a fixed order",
+        }
+    }
+
+    /// All lints, for SARIF rule enumeration.
+    pub const ALL: &'static [Lint] = &[
+        Lint::NoPanic,
+        Lint::FlopCoverage,
+        Lint::ShapeDocs,
+        Lint::Determinism,
+        Lint::FloatEq,
+        Lint::GradCoverage,
+        Lint::DurableIo,
+        Lint::UnsafeContract,
+        Lint::AtomicOrdering,
+        Lint::LockOrder,
+        Lint::ScopedCapture,
+        Lint::ParReduction,
+    ];
 }
 
 /// One lint violation.

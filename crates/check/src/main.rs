@@ -3,13 +3,20 @@
 //! ```text
 //! cargo run -p adr-check                      # lint the current workspace
 //! cargo run -p adr-check -- --root some/workspace
+//! cargo run -p adr-check -- --format sarif > adr-check.sarif
+//! cargo run -p adr-check -- conc              # concurrency lints + lock graph
 //! cargo run -p adr-check -- shapes            # verify the built-in model specs
 //! cargo run -p adr-check -- shapes --spec f.spec   # verify a text spec file
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, stale allowlist entries (a hard
-//! failure — audits that match nothing must be pruned), or shape
-//! violations, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` findings, stale or uncategorized allowlist
+//! entries (hard failures — audits that match nothing must be pruned, and
+//! every audit must name its category), or shape violations, `2` usage or
+//! I/O error.
+//!
+//! With `--format sarif`, findings (including allowlist staleness) are
+//! printed to stdout as a SARIF 2.1.0 document — validated before emission
+//! — for CI code-scanning upload; the exit code is unchanged.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,8 +27,15 @@ fn main() -> ExitCode {
         args.next();
         return run_shapes(args);
     }
+    let conc_only = if args.peek().map(String::as_str) == Some("conc") {
+        args.next();
+        true
+    } else {
+        false
+    };
 
     let mut root = PathBuf::from(".");
+    let mut sarif = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
@@ -31,8 +45,24 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(value);
             }
+            "--format" => {
+                match args.next().as_deref() {
+                    Some("sarif") => sarif = true,
+                    Some("human") => sarif = false,
+                    Some(other) => {
+                        eprintln!("error: unknown format `{other}` (human|sarif)");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("error: --format needs a value (human|sarif)");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: adr-check [--root <workspace-root>]");
+                println!(
+                    "usage: adr-check [conc] [--root <workspace-root>] [--format human|sarif]"
+                );
                 println!("       adr-check shapes [--spec <spec-file>]");
                 return ExitCode::SUCCESS;
             }
@@ -43,7 +73,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match adr_check::run_checks(&root) {
+    let run = if conc_only { adr_check::run_conc } else { adr_check::run_checks };
+    let report = match run(&root) {
         Ok(report) => report,
         Err(message) => {
             eprintln!("error: {message}");
@@ -51,6 +82,22 @@ fn main() -> ExitCode {
         }
     };
 
+    if sarif {
+        let doc = adr_check::sarif::to_sarif(&report);
+        if let Err(message) = adr_check::sarif::validate_sarif(&doc) {
+            eprintln!("error: emitted SARIF failed validation: {message}");
+            return ExitCode::from(2);
+        }
+        print!("{}", doc.render_pretty());
+        return if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if conc_only {
+        println!("lock-order graph ({} edge(s)):", report.lock_graph.len());
+        for edge in &report.lock_graph {
+            println!("  {edge}");
+        }
+    }
     for finding in &report.findings {
         println!("error[{}]: {}", finding.lint.name(), finding.message);
         println!("  --> {}:{}", finding.file, finding.line);
@@ -59,14 +106,19 @@ fn main() -> ExitCode {
     for stale in &report.unused_allow {
         println!("error[adr::stale_allow]: {stale} — prune the entry");
     }
+    for bad in &report.bad_category {
+        println!("error[adr::allow_category]: {bad}");
+    }
     if report.is_clean() {
         println!("adr-check: {} files clean", report.files_scanned);
         ExitCode::SUCCESS
     } else {
         println!(
-            "adr-check: {} finding(s), {} stale allowlist entr(ies) across {} files",
+            "adr-check: {} finding(s), {} stale and {} uncategorized allowlist entr(ies) \
+             across {} files",
             report.findings.len(),
             report.unused_allow.len(),
+            report.bad_category.len(),
             report.files_scanned
         );
         ExitCode::FAILURE

@@ -137,7 +137,7 @@ pub fn type_mentions_map(ty: &str, uses: &UseMap) -> bool {
 }
 
 /// Iterator over identifier-like words of `text`.
-fn words_of(text: &str) -> impl Iterator<Item = &str> {
+pub(crate) fn words_of(text: &str) -> impl Iterator<Item = &str> {
     text.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).filter(|w| !w.is_empty())
 }
 
@@ -310,7 +310,7 @@ pub fn map_fields(model: &FileModel, uses: &UseMap) -> Vec<String> {
 }
 
 /// Splits `text` at `sep` occurrences that sit at bracket depth 0.
-fn split_top_level(text: &str, sep: char) -> Vec<&str> {
+pub(crate) fn split_top_level(text: &str, sep: char) -> Vec<&str> {
     let mut out = Vec::new();
     let mut depth = 0i32;
     let mut start = 0usize;
@@ -331,7 +331,7 @@ fn split_top_level(text: &str, sep: char) -> Vec<&str> {
 
 /// Splits at the first depth-0 occurrence of `sep`, skipping `::`, `==`,
 /// `=>`, `<=`, `>=` and `!=` when `sep` is `:` or `=`.
-fn split_top_level_once(text: &str, sep: char) -> Option<(&str, &str)> {
+pub(crate) fn split_top_level_once(text: &str, sep: char) -> Option<(&str, &str)> {
     let bytes = text.as_bytes();
     let mut depth = 0i32;
     for (i, &b) in bytes.iter().enumerate() {
@@ -360,7 +360,7 @@ fn split_top_level_once(text: &str, sep: char) -> Option<(&str, &str)> {
 /// Finds the first depth-0 occurrence of byte `target`. The target check
 /// runs before depth tracking so a closing bracket can itself be the target
 /// (e.g. the `}` that ends a struct body).
-fn find_top_level(text: &str, target: u8) -> Option<usize> {
+pub(crate) fn find_top_level(text: &str, target: u8) -> Option<usize> {
     let mut depth = 0i32;
     for (i, &b) in text.as_bytes().iter().enumerate() {
         if b == target && depth == 0 {

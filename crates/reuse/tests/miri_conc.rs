@@ -1,0 +1,82 @@
+//! Concurrency tests for the packed-hashing fan-out, curated for
+//! `cargo miri test`: tiny inputs, with the parallel path forced through
+//! [`adr_tensor::par::set_thread_override`] because no interpretable
+//! problem size reaches the compute crossover under Miri.
+//!
+//! Signatures are `u64`s produced by an identical per-row accumulation in
+//! both paths, so serial and forced-parallel results must be *equal*, not
+//! merely close.
+
+// Test code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
+use adr_clustering::lsh::LshTable;
+use adr_reuse::hashpack::PackedHasher;
+use adr_reuse::subvec::SubVecSplit;
+use adr_tensor::matrix::Matrix;
+use adr_tensor::par::set_thread_override;
+use adr_tensor::rng::AdrRng;
+use std::sync::Mutex;
+
+/// The override is process-global; serialise the tests that flip it.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn families(split: &SubVecSplit, h: usize, seed: u64) -> Vec<LshTable> {
+    let mut rng = AdrRng::seeded(seed);
+    split.ranges().iter().map(|&(a, b)| LshTable::new(b - a, h, &mut rng)).collect()
+}
+
+#[test]
+fn hash_all_forced_two_threads_equals_serial() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rng = AdrRng::seeded(11);
+    let x = Matrix::from_fn(9, 13, |_, _| rng.gauss());
+    let split = SubVecSplit::new(13, 5); // widths 5,5,3
+    let packed = PackedHasher::new(&split, &families(&split, 7, 12));
+    set_thread_override(None);
+    let serial = packed.hash_all(&x);
+    set_thread_override(Some(2));
+    let forced = packed.hash_all(&x);
+    set_thread_override(None);
+    assert_eq!(serial, forced);
+}
+
+#[test]
+fn hash_all_thread_count_beyond_rows_equals_serial() {
+    // More workers than rows: the row-chunk splitter must cope with empty
+    // tails instead of slicing past the signature buffer.
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rng = AdrRng::seeded(21);
+    let x = Matrix::from_fn(3, 8, |_, _| rng.gauss());
+    let split = SubVecSplit::new(8, 4);
+    let packed = PackedHasher::new(&split, &families(&split, 6, 22));
+    set_thread_override(None);
+    let serial = packed.hash_all(&x);
+    set_thread_override(Some(16));
+    let forced = packed.hash_all(&x);
+    set_thread_override(None);
+    assert_eq!(serial, forced);
+}
+
+/// Under Miri the aliasing checks on the `split_at_mut` hand-off are the
+/// point; sweep a few worker counts to probe the chunk arithmetic.
+#[cfg(miri)]
+mod miri_only {
+    use super::*;
+
+    #[test]
+    fn hash_all_is_race_free_at_every_worker_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut rng = AdrRng::seeded(31);
+        let x = Matrix::from_fn(7, 10, |_, _| rng.gauss());
+        let split = SubVecSplit::new(10, 3); // widths 3,3,3,1
+        let packed = PackedHasher::new(&split, &families(&split, 9, 32));
+        set_thread_override(None);
+        let reference = packed.hash_all(&x);
+        for workers in [2usize, 3, 7] {
+            set_thread_override(Some(workers));
+            assert_eq!(packed.hash_all(&x), reference, "{workers} workers");
+        }
+        set_thread_override(None);
+    }
+}

@@ -6,6 +6,7 @@
 //! output, so no synchronisation is needed beyond the scope join.
 
 use crate::matrix::{gemm_rows, Matrix};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 // Serial/parallel crossover thresholds, shared by every scoped-thread fan-out
@@ -41,15 +42,44 @@ pub fn hardware_threads() -> usize {
     *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
+/// Worker-thread override for tests; `0` means "no override" (the
+/// crossover heuristics decide). Miri interprets ~1000× slower than native,
+/// so no interpretable problem size can reach the `COMPUTE_FLOPS_PER_THREAD`
+/// crossover — the concurrency tests force the parallel code paths on tiny
+/// inputs through this switch instead.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every fan-out to use exactly `n` workers (`None` restores the
+/// crossover heuristics). Test-only by convention: production code never
+/// calls this, so the override stays `0` and the load below is a single
+/// uncontended read per fan-out decision.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Release);
+}
+
+/// The current override, if one is set.
+fn thread_override() -> Option<usize> {
+    match THREAD_OVERRIDE.load(Ordering::Acquire) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
 /// Worker-thread count for a compute-bound problem of `flops` multiply–adds,
 /// capped by available parallelism; `1` means "stay serial".
 pub fn compute_threads(flops: usize) -> usize {
+    if let Some(n) = thread_override() {
+        return n;
+    }
     hardware_threads().min((flops / COMPUTE_FLOPS_PER_THREAD).max(1))
 }
 
 /// Worker-thread count for a memory-bound problem of `elems` elements moved,
 /// capped by available parallelism; `1` means "stay serial".
 pub fn memory_threads(elems: usize) -> usize {
+    if let Some(n) = thread_override() {
+        return n;
+    }
     hardware_threads().min((elems / MEMORY_ELEMS_PER_THREAD).max(1))
 }
 

@@ -1,0 +1,133 @@
+//! Concurrency tests for the scoped-thread fan-outs, curated to stay small
+//! enough for `cargo miri test` (Miri interprets ~1000× slower than native,
+//! so no interpretable problem reaches the crossover thresholds on its own).
+//!
+//! Every test forces the parallel code path on tiny inputs through
+//! [`adr_tensor::par::set_thread_override`], then demands *bitwise* equality
+//! with the serial path: the fan-outs partition their output with
+//! `split_at_mut`, so each element is accumulated by exactly one thread in
+//! the same loop order and any divergence is a bug, not a rounding mode.
+//!
+//! The same binary runs natively in the `test` CI job and under Miri in the
+//! `miri` job; the `#[cfg(miri)]` module at the bottom adds borrow-tracking
+//! stress that is redundant native but cheap under the interpreter.
+
+// Test code asserts on values it just constructed; unwrap is the idiom.
+#![allow(clippy::unwrap_used)]
+
+use adr_tensor::im2col::{col2im, im2col, ConvGeom};
+use adr_tensor::matrix::Matrix;
+use adr_tensor::par::{matmul_par, matmul_range_t_b_par, set_thread_override};
+use adr_tensor::tensor4::Tensor4;
+use std::sync::Mutex;
+
+/// The override is process-global; serialise tests that flip it so the
+/// default multi-threaded test harness cannot interleave two overrides.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `serial` with the heuristics in charge and `forced` with every
+/// fan-out pinned to `threads` workers, restoring the default afterwards.
+fn serial_vs_forced<R>(
+    threads: usize,
+    serial: impl FnOnce() -> R,
+    forced: impl FnOnce() -> R,
+) -> (R, R) {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    set_thread_override(None);
+    let s = serial();
+    set_thread_override(Some(threads));
+    let f = forced();
+    set_thread_override(None);
+    (s, f)
+}
+
+fn small_geom() -> ConvGeom {
+    ConvGeom::new(6, 5, 3, 3, 3, 1, 1).unwrap()
+}
+
+fn small_input() -> Tensor4 {
+    Tensor4::from_fn(2, 6, 5, 3, |n, y, x, c| {
+        (((n * 131 + y * 31 + x * 7 + c * 3) % 23) as f32 - 11.0) * 0.125
+    })
+}
+
+#[test]
+fn matmul_par_forced_two_threads_is_bitwise_serial() {
+    let a = Matrix::from_fn(7, 9, |r, c| (((r * 13 + c * 5) % 17) as f32 - 8.0) * 0.25);
+    let b = Matrix::from_fn(9, 4, |r, c| (((r * 3 + c * 11) % 13) as f32 - 6.0) * 0.5);
+    let (serial, forced) = serial_vs_forced(2, || a.matmul(&b), || matmul_par(&a, &b));
+    assert_eq!(serial.as_slice(), forced.as_slice());
+}
+
+#[test]
+fn matmul_par_thread_count_beyond_rows_is_bitwise_serial() {
+    // More workers than rows: the row-block splitter must hand out empty
+    // tails without touching out-of-range output.
+    let a = Matrix::from_fn(3, 6, |r, c| ((r * 7 + c) % 9) as f32 - 4.0);
+    let b = Matrix::from_fn(6, 5, |r, c| ((r + c * 4) % 7) as f32 - 3.0);
+    let (serial, forced) = serial_vs_forced(8, || a.matmul(&b), || matmul_par(&a, &b));
+    assert_eq!(serial.as_slice(), forced.as_slice());
+}
+
+#[test]
+fn matmul_range_t_b_par_forced_two_threads_is_bitwise_serial() {
+    let a = Matrix::from_fn(8, 10, |r, c| (((r * 19 + c * 3) % 21) as f32 - 10.0) * 0.125);
+    let b = Matrix::from_fn(3, 4, |r, c| (((r * 5 + c * 7) % 11) as f32 - 5.0) * 0.25);
+    // The serial closure runs with the override cleared, so `threads <= 1`
+    // takes the inline per-row path; the forced closure spawns two workers.
+    let (serial, forced) = serial_vs_forced(
+        2,
+        || matmul_range_t_b_par(&a, (2, 6), &b),
+        || matmul_range_t_b_par(&a, (2, 6), &b),
+    );
+    assert_eq!(serial.as_slice(), forced.as_slice());
+}
+
+#[test]
+fn im2col_forced_parallel_is_bitwise_serial() {
+    let geom = small_geom();
+    let input = small_input();
+    let (serial, forced) = serial_vs_forced(2, || im2col(&input, &geom), || im2col(&input, &geom));
+    assert_eq!(serial.as_slice(), forced.as_slice());
+}
+
+#[test]
+fn col2im_forced_parallel_is_bitwise_serial() {
+    let geom = small_geom();
+    let cols = im2col(&small_input(), &geom);
+    let (serial, forced) =
+        serial_vs_forced(2, || col2im(&cols, &geom, 2), || col2im(&cols, &geom, 2));
+    assert_eq!(serial.as_slice(), forced.as_slice());
+}
+
+/// Borrow-tracking stress that only earns its keep under the interpreter:
+/// Miri's aliasing model checks every `split_at_mut` hand-off, so driving
+/// the same fan-outs at several worker counts probes the partition
+/// arithmetic without native runtime cost.
+#[cfg(miri)]
+mod miri_only {
+    use super::*;
+
+    #[test]
+    fn fanouts_are_race_free_at_every_worker_count() {
+        let a = Matrix::from_fn(5, 6, |r, c| ((r * 11 + c * 2) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(6, 3, |r, c| ((r * 2 + c * 9) % 7) as f32 - 3.0);
+        let geom = small_geom();
+        let input = small_input();
+        let reference = {
+            let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            set_thread_override(None);
+            (a.matmul(&b), im2col(&input, &geom))
+        };
+        for workers in [2usize, 3, 5] {
+            let (serial, forced) = serial_vs_forced(
+                workers,
+                || (a.matmul(&b), im2col(&input, &geom)),
+                || (matmul_par(&a, &b), im2col(&input, &geom)),
+            );
+            assert_eq!(serial.0.as_slice(), reference.0.as_slice());
+            assert_eq!(forced.0.as_slice(), reference.0.as_slice(), "{workers} workers");
+            assert_eq!(forced.1.as_slice(), reference.1.as_slice(), "{workers} workers");
+        }
+    }
+}
