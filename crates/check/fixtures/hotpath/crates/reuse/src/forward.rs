@@ -1,0 +1,21 @@
+//! Seeded violations for the `reuse_forward` hot root: a `Mutex`
+//! acquisition (`adr::hot_lock`) plus an `unwrap` (`adr::hot_panic`),
+//! and a cross-file edge into hashpack.rs whose indexing sites must be
+//! attributed to this phase too.
+
+use std::sync::Mutex;
+
+/// Reuse-hit counter guarded by a lock — acquiring it per forward call
+/// is exactly what `adr::hot_lock` exists to catch.
+pub static STATS: Mutex<u64> = Mutex::new(0);
+
+/// Hot root: hashes the batch, then bumps the shared counter.
+pub fn reuse_forward(rows: &[u64], out: &mut [u64]) {
+    hash_all(rows, out);
+    record_hit();
+}
+
+fn record_hit() {
+    let mut guard = STATS.lock().unwrap();
+    *guard += 1;
+}

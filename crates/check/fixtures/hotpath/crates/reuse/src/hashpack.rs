@@ -1,0 +1,20 @@
+//! Seeded `adr::hot_panic` violations: the `hash_all` hot root indexes
+//! its slices bare, and `reuse_forward` (in forward.rs) reaches these
+//! same sites through a cross-file call edge.
+
+/// Hot root: hashes every row.
+pub fn hash_all(rows: &[u64], out: &mut [u64]) {
+    for i in 0..out.len() {
+        out[i] = mix(rows[i]);
+    }
+}
+
+fn mix(x: u64) -> u64 {
+    x.rotate_left(7) ^ 0x9e37_79b9
+}
+
+/// Compliant twin: panics too (`unwrap`), but is never called from a
+/// hot root, so it must stay quiet.
+pub fn decode_cold(v: Option<u64>) -> u64 {
+    v.unwrap()
+}

@@ -1,0 +1,24 @@
+//! Seeded `adr::hot_lock` violation for the serving loop: the `poll`
+//! hot root reads files per batch; its compliant twin does the same
+//! I/O but only at startup, unreachable from `poll`.
+
+/// Hot root: drains the manifest list once per batch.
+pub fn poll(paths: &[String]) -> usize {
+    let mut total = 0;
+    for p in paths {
+        total += read_manifest(p);
+    }
+    total
+}
+
+/// File I/O on the batch loop — `adr::hot_lock` must flag the
+/// `fs::read` site.
+fn read_manifest(path: &str) -> usize {
+    std::fs::read(path).map(|b| b.len()).unwrap_or(0)
+}
+
+/// Compliant twin: identical I/O, but startup-only — nothing on the
+/// hot path calls it, so it must stay quiet.
+pub fn load_checkpoint_cold(path: &str) -> usize {
+    std::fs::read(path).map(|b| b.len()).unwrap_or(0)
+}

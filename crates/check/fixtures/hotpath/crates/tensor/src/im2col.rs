@@ -1,0 +1,23 @@
+//! Seeded `adr::hot_alloc` violation: the `im2col` hot root reaches an
+//! allocating helper with no audit entry, while its compliant twin
+//! allocates the same way but only off the hot path.
+
+/// Hot root: unfolds `x` into patch rows.
+pub fn im2col(x: &[f32], out: &mut [f32]) {
+    let scratch = patch_scratch(x.len());
+    for (dst, s) in out.iter_mut().zip(&scratch) {
+        *dst = *s;
+    }
+}
+
+/// Allocates a scratch buffer on every call — reachable from `im2col`,
+/// so `adr::hot_alloc` must flag the `vec!` site.
+fn patch_scratch(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}
+
+/// Compliant twin: the identical allocation, but nothing on the hot
+/// path calls it, so it must stay quiet.
+pub fn patch_scratch_cold(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}

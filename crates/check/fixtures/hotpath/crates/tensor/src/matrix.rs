@@ -1,0 +1,26 @@
+//! Seeded `adr::hot_lock` violation: the `matmul` hot root reaches a
+//! `println!` through a helper; the compliant twin prints the same way
+//! but is only called off the hot path.
+
+/// Hot root: accumulates dot products into `out`.
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    log_progress(out.len());
+    for v in out.iter_mut() {
+        *v = dot(a, b);
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Console output on the hot path — `adr::hot_lock` must flag the
+/// `println!` site.
+fn log_progress(n: usize) {
+    println!("tile {n}");
+}
+
+/// Compliant twin: printing is fine where no hot root reaches it.
+pub fn dump_stats(n: usize) {
+    println!("stats {n}");
+}

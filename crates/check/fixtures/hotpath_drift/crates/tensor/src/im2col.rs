@@ -1,0 +1,15 @@
+//! Budget-drift fixture: one audited allocation on the hot path, but
+//! the committed adr-check.budget pins `im2col.alloc = 0`, so the count
+//! check must fail (and the absent roots must each be reported).
+
+/// Hot root.
+pub fn im2col(x: &[f32], out: &mut [f32]) {
+    let scratch = patch_scratch(x.len());
+    for (dst, s) in out.iter_mut().zip(&scratch) {
+        *dst = *s;
+    }
+}
+
+fn patch_scratch(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}

@@ -40,6 +40,11 @@ pub const KNOWN_CATEGORIES: &[&str] = &[
     "capture-disjoint",
     "reduction-fixed-order",
     "kernel-unsafe",
+    // Hot-path resource audits (PR 7). The `alloc-*` pair gates
+    // `adr::hot_alloc`: `alloc-init` for one-time/setup allocations,
+    // `alloc-amortized` for amortized or conditional ones.
+    "alloc-init",
+    "alloc-amortized",
 ];
 
 /// One allowlist entry.

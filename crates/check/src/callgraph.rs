@@ -1,0 +1,371 @@
+//! Shared call-graph machinery for the inter-procedural passes.
+//!
+//! Two analyses walk calls across function boundaries: `conc::lock_order`
+//! (which locks are reachable through a call chain) and
+//! `hotpath` (which allocation/panic/lock sites are reachable from the
+//! declared hot roots). Both need the same three pieces, extracted here so
+//! neither duplicates them:
+//!
+//! * [`find_call_sites`] — the lexical call-site scanner (`ident(`), with
+//!   the keyword blacklist, plus the `Type::`-qualifier and `.`-receiver
+//!   facts the hot-path resolver uses to avoid merging every `new()` in
+//!   the workspace into one node.
+//! * [`transitive`] — the memoized transitive-fact walk: every fact
+//!   reachable from a function through name-resolved calls, each carrying
+//!   the call-chain trace that reaches it. `lock_order` instantiates it
+//!   with lock acquisitions as the facts; the trace strings come from the
+//!   [`CallNode`] impl so the rendered output is byte-identical to the
+//!   pre-extraction behavior.
+//! * [`reach`] — a plain breadth-first reachable-set walk with parent
+//!   links, for analyses (hotpath) that resolve callees themselves and
+//!   need the set rather than per-fact traces.
+//!
+//! Name resolution stays an over-approximation: duplicate function names
+//! merge (see `lock_order`'s contract), which can only add edges. The
+//! hot-path analyzer narrows this with the qualifier/receiver facts, but
+//! that narrowing lives in `hotpath`, not here.
+
+use std::collections::BTreeMap;
+
+use crate::scan::FileModel;
+
+/// A candidate call site (identifier followed by `(`).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub callee: String,
+    /// Byte offset.
+    pub offset: usize,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Last path segment before `::callee(`, when the call is written as a
+    /// qualified path (`Matrix::zeros(` → `Some("Matrix")`). `None` for
+    /// bare calls and method calls.
+    pub qualifier: Option<String>,
+    /// True when the call is a method call (`recv.callee(`), including
+    /// chains split across lines.
+    pub is_method: bool,
+}
+
+/// Rust keywords and lint-internal method names that can precede `(`
+/// without being calls we want in the graph.
+pub const CALL_BLACKLIST: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "loop", "move", "unsafe", "let", "else", "in",
+    "as", "pub", "use", "mod", "impl", "spawn", "lock", "read", "write", "scope", "assert", "Some",
+    "Ok", "Err", "None", "Box", "Vec",
+];
+
+/// True for bytes that can appear in a Rust identifier.
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds candidate call sites (`ident(`), later resolved against the set
+/// of known workspace functions when building a call graph.
+///
+/// Turbofish calls (`collect::<Vec<_>>()`) are *not* matched — the byte
+/// after the identifier is `:` — which is fine for graph building (no
+/// workspace function is called through a turbofish today) and documented
+/// as accepted imprecision in DESIGN.md §12/§13. The hot-path allocation
+/// scanner has its own token pass that does handle the turbofish.
+pub fn find_call_sites(model: &FileModel, base: usize, body: &str) -> Vec<CallSite> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if !is_ident_byte(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let word = &body[start..i];
+        let mut j = i;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'(')
+            || word.chars().next().is_some_and(|c| c.is_ascii_digit())
+            || CALL_BLACKLIST.contains(&word)
+        {
+            continue;
+        }
+        out.push(CallSite {
+            callee: word.to_string(),
+            offset: base + start,
+            line: model.line_of(base + start),
+            qualifier: qualifier_before(body, start),
+            is_method: receiver_before(bytes, start),
+        });
+    }
+    out
+}
+
+/// The path segment immediately before `::` preceding `start`, if any.
+fn qualifier_before(body: &str, start: usize) -> Option<String> {
+    let bytes = body.as_bytes();
+    if start < 2 || bytes[start - 1] != b':' || bytes[start - 2] != b':' {
+        return None;
+    }
+    let mut k = start - 2;
+    // Skip a generic-argument segment and its own `::` (`Vec::<f32>::new`).
+    if k > 0 && bytes[k - 1] == b'>' {
+        let mut depth = 0i32;
+        while k > 0 {
+            k -= 1;
+            match bytes[k] {
+                b'>' => depth += 1,
+                b'<' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if k >= 2 && bytes[k - 1] == b':' && bytes[k - 2] == b':' {
+            k -= 2;
+        }
+    }
+    let end = k;
+    while k > 0 && is_ident_byte(bytes[k - 1]) {
+        k -= 1;
+    }
+    if k == end {
+        return None;
+    }
+    Some(body[k..end].to_string())
+}
+
+/// True when the previous non-whitespace byte before `start` is `.` — a
+/// method call, even when the chain is split across lines.
+fn receiver_before(bytes: &[u8], start: usize) -> bool {
+    let mut k = start;
+    while k > 0 && (bytes[k - 1] as char).is_whitespace() {
+        k -= 1;
+    }
+    k > 0 && bytes[k - 1] == b'.'
+}
+
+// ---------------------------------------------------------------------------
+// The memoized transitive-fact walk
+// ---------------------------------------------------------------------------
+
+/// Facts reachable from one function: `(fact key, call-chain trace)`.
+pub type FactTraces = Vec<(String, Vec<String>)>;
+
+/// A function node the transitive walk can traverse.
+pub trait CallNode {
+    /// Resolution name (call sites bind to this by string equality).
+    fn name(&self) -> &str;
+    /// Candidate call sites in body order.
+    fn calls(&self) -> &[CallSite];
+    /// Facts introduced directly in this node, each with its one-line
+    /// anchor trace (`file:line: fn `f` acquires ...`).
+    fn direct_facts(&self) -> Vec<(String, String)>;
+    /// Trace line for following `call` out of this node.
+    fn call_trace(&self, call: &CallSite) -> String;
+}
+
+/// Builds the name → indices resolution index (duplicate names across
+/// impls merge conservatively).
+pub fn index_by_name<N: CallNode>(fns: &[N]) -> BTreeMap<&str, Vec<usize>> {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name()).or_default().push(i);
+    }
+    by_name
+}
+
+/// Every fact reachable from `fns[idx]` — its own direct facts plus those
+/// of every (transitively) called node — with the call-chain trace that
+/// reaches each. First trace per fact key wins; self-calls are skipped;
+/// recursion is cut by the `visiting` guard (callers pass a fresh vec per
+/// top-level query, sharing `memo` across queries).
+pub fn transitive<N: CallNode>(
+    idx: usize,
+    fns: &[N],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    memo: &mut Vec<Option<FactTraces>>,
+    visiting: &mut Vec<usize>,
+) -> FactTraces {
+    if let Some(done) = &memo[idx] {
+        return done.clone();
+    }
+    if visiting.contains(&idx) {
+        return Vec::new(); // recursion guard
+    }
+    visiting.push(idx);
+    let f = &fns[idx];
+    let mut out: FactTraces = Vec::new();
+    for (fact, anchor) in f.direct_facts() {
+        if !out.iter().any(|(l, _)| l == &fact) {
+            out.push((fact, vec![anchor]));
+        }
+    }
+    for call in f.calls() {
+        let Some(callees) = by_name.get(call.callee.as_str()) else {
+            continue;
+        };
+        for &callee in callees {
+            if callee == idx {
+                continue;
+            }
+            for (fact, trace) in transitive(callee, fns, by_name, memo, visiting) {
+                if !out.iter().any(|(l, _)| l == &fact) {
+                    let mut full = vec![fns[idx].call_trace(call)];
+                    full.extend(trace);
+                    out.push((fact, full));
+                }
+            }
+        }
+    }
+    visiting.pop();
+    memo[idx] = Some(out.clone());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Plain reachability
+// ---------------------------------------------------------------------------
+
+/// One visited node: `(index, edge that discovered it)`. Roots carry
+/// `None`; everything else carries `(caller index, call line)`.
+pub type Visit = (usize, Option<(usize, usize)>);
+
+/// Breadth-first reachable set over `n` nodes from `roots`, expanding
+/// edges with `callees(idx) -> [(callee idx, call line)]`. Returns visits
+/// in discovery order (roots first); each node appears once.
+pub fn reach<F>(n: usize, roots: &[usize], mut callees: F) -> Vec<Visit>
+where
+    F: FnMut(usize) -> Vec<(usize, usize)>,
+{
+    let mut seen = vec![false; n];
+    let mut order: Vec<Visit> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &r in roots {
+        if r < n && !seen[r] {
+            seen[r] = true;
+            order.push((r, None));
+            queue.push_back(r);
+        }
+    }
+    while let Some(idx) = queue.pop_front() {
+        for (callee, line) in callees(idx) {
+            if callee < n && !seen[callee] {
+                seen[callee] = true;
+                order.push((callee, Some((idx, line))));
+                queue.push_back(callee);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::FileModel;
+
+    fn sites_of(src: &str) -> Vec<CallSite> {
+        let model = FileModel::parse(src);
+        find_call_sites(&model, 0, &model.cleaned)
+    }
+
+    #[test]
+    fn qualified_and_method_calls_carry_their_facts() {
+        let sites = sites_of("fn f() { let m = Matrix::zeros(2, 2); helper(m); x.update(1); }");
+        let zeros = sites.iter().find(|s| s.callee == "zeros").expect("zeros found");
+        assert_eq!(zeros.qualifier.as_deref(), Some("Matrix"));
+        assert!(!zeros.is_method);
+        let helper = sites.iter().find(|s| s.callee == "helper").expect("helper found");
+        assert_eq!(helper.qualifier, None);
+        assert!(!helper.is_method);
+        let update = sites.iter().find(|s| s.callee == "update").expect("update found");
+        assert!(update.is_method);
+        assert_eq!(update.qualifier, None);
+    }
+
+    #[test]
+    fn multiline_chains_and_generic_paths_resolve() {
+        let sites =
+            sites_of("fn f() { let v = builder\n        .finish();\n    Vec::<f32>::grow(v); }");
+        let finish = sites.iter().find(|s| s.callee == "finish").expect("finish found");
+        assert!(finish.is_method, "dot on the previous line still marks a method call");
+        let grow = sites.iter().find(|s| s.callee == "grow").expect("grow found");
+        assert_eq!(grow.qualifier.as_deref(), Some("Vec"), "generic segment is skipped");
+    }
+
+    #[test]
+    fn turbofish_is_not_a_call_site() {
+        // `collect::<...>()` stays invisible here (documented imprecision);
+        // the hot-path alloc scanner has its own pass for it.
+        let sites = sites_of("fn f() { let v = it.collect::<Vec<_>>(); }");
+        assert!(sites.iter().all(|s| s.callee != "collect"), "{sites:?}");
+    }
+
+    struct Node {
+        name: &'static str,
+        calls: Vec<CallSite>,
+        facts: Vec<&'static str>,
+    }
+
+    impl CallNode for Node {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn calls(&self) -> &[CallSite] {
+            &self.calls
+        }
+        fn direct_facts(&self) -> Vec<(String, String)> {
+            self.facts
+                .iter()
+                .map(|f| ((*f).to_string(), format!("{} has {f}", self.name)))
+                .collect()
+        }
+        fn call_trace(&self, call: &CallSite) -> String {
+            format!("{} calls {}", self.name, call.callee)
+        }
+    }
+
+    fn call(callee: &str) -> CallSite {
+        CallSite {
+            callee: callee.to_string(),
+            offset: 0,
+            line: 1,
+            qualifier: None,
+            is_method: false,
+        }
+    }
+
+    #[test]
+    fn transitive_facts_carry_the_call_chain_and_memoize() {
+        let fns = vec![
+            Node { name: "a", calls: vec![call("b")], facts: vec![] },
+            Node { name: "b", calls: vec![call("c")], facts: vec!["fb"] },
+            Node { name: "c", calls: vec![call("a")], facts: vec!["fc"] }, // cycle back
+        ];
+        let by_name = index_by_name(&fns);
+        let mut memo = vec![None; fns.len()];
+        let facts = transitive(0, &fns, &by_name, &mut memo, &mut Vec::new());
+        let fb = facts.iter().find(|(k, _)| k == "fb").expect("fb reachable");
+        assert_eq!(fb.1, vec!["a calls b".to_string(), "b has fb".to_string()]);
+        let fc = facts.iter().find(|(k, _)| k == "fc").expect("fc reachable through two hops");
+        assert_eq!(fc.1.len(), 3, "{:?}", fc.1);
+        assert!(memo.iter().all(Option::is_some), "every visited node memoized");
+    }
+
+    #[test]
+    fn reach_visits_each_node_once_with_parent_links() {
+        // 0 -> 1 -> 2, 0 -> 2 (second discovery ignored), 3 unreachable.
+        let edges = [vec![(1usize, 10usize), (2, 11)], vec![(2, 20)], vec![], vec![]];
+        let visits = reach(4, &[0], |i| edges[i].clone());
+        assert_eq!(visits.len(), 3);
+        assert_eq!(visits[0], (0, None));
+        assert_eq!(visits[1], (1, Some((0, 10))));
+        assert_eq!(visits[2], (2, Some((0, 11))), "BFS discovers 2 from the root first");
+    }
+}

@@ -34,9 +34,12 @@
 
 use std::ops::Range;
 
+use crate::callgraph::{self, is_ident_byte, CallNode};
 use crate::lints::{Finding, Lint};
 use crate::parser::{self, UseMap};
 use crate::scan::{is_word_at, match_brace, FileModel, FnSpan};
+
+pub use crate::callgraph::CallSite;
 
 /// Files (or `/`-terminated directory prefixes) where raw-pointer and
 /// `get_unchecked`-family code is sanctioned. The SIMD micro-kernel
@@ -166,17 +169,6 @@ pub struct SpawnSite {
     pub line: usize,
     /// Closure-body byte range (cleaned text, file-global offsets).
     pub body: Range<usize>,
-}
-
-/// A candidate call site (identifier followed by `(`).
-#[derive(Debug)]
-pub struct CallSite {
-    /// Callee name as written.
-    pub callee: String,
-    /// Byte offset.
-    pub offset: usize,
-    /// 1-indexed line.
-    pub line: usize,
 }
 
 /// A binding that is (or may be) mutably captured across a spawn boundary.
@@ -373,10 +365,6 @@ fn atomic_method_of(cleaned: &str, pos: usize) -> Option<String> {
     None
 }
 
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
 /// Struct fields in this file typed `Mutex<...>` / `RwLock<...>`.
 fn lock_field_names(model: &FileModel, uses: &UseMap) -> Vec<String> {
     let cleaned = &model.cleaned;
@@ -466,7 +454,7 @@ fn fn_conc(
     let locks = find_lock_sites(model, base, body, &lock_names);
     let guards = find_guard_names(body);
     let spawns = find_spawn_sites(model, base, body);
-    let calls = find_call_sites(model, base, body);
+    let calls = callgraph::find_call_sites(model, base, body);
     let mut mut_bindings = find_mut_bindings(base, body);
     for piece in parser::split_top_level(&f.params, ',') {
         if let Some((pat, ty)) = parser::split_top_level_once(piece, ':') {
@@ -683,49 +671,6 @@ fn close_paren(body: &str, open: usize) -> usize {
         i += 1;
     }
     bytes.len()
-}
-
-/// Rust keywords and lint-internal method names that can precede `(`
-/// without being calls we want in the graph.
-const CALL_BLACKLIST: &[&str] = &[
-    "if", "while", "for", "match", "return", "fn", "loop", "move", "unsafe", "let", "else", "in",
-    "as", "pub", "use", "mod", "impl", "spawn", "lock", "read", "write", "scope", "assert", "Some",
-    "Ok", "Err", "None", "Box", "Vec",
-];
-
-/// Finds candidate call sites (`ident(`), later resolved against the set
-/// of known workspace functions when building the lock graph.
-fn find_call_sites(model: &FileModel, base: usize, body: &str) -> Vec<CallSite> {
-    let bytes = body.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < bytes.len() {
-        if !is_ident_byte(bytes[i]) || (i > 0 && is_ident_byte(bytes[i - 1])) {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        while i < bytes.len() && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        let word = &body[start..i];
-        let mut j = i;
-        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
-            j += 1;
-        }
-        if bytes.get(j) != Some(&b'(')
-            || word.chars().next().is_some_and(|c| c.is_ascii_digit())
-            || CALL_BLACKLIST.contains(&word)
-        {
-            continue;
-        }
-        out.push(CallSite {
-            callee: word.to_string(),
-            offset: base + start,
-            line: model.line_of(base + start),
-        });
-    }
-    out
 }
 
 /// Collects mutable bindings (`let mut x`, destructuring splits, `&mut`
@@ -1064,6 +1009,38 @@ struct LockEdge {
     trace: Vec<String>,
 }
 
+/// The lock-order walk's view of a function: the facts are lock names,
+/// the trace strings render exactly as the pre-`callgraph` implementation
+/// did (pinned by the unit and fixture tests below).
+impl CallNode for FnConc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn calls(&self) -> &[CallSite] {
+        &self.calls
+    }
+
+    fn direct_facts(&self) -> Vec<(String, String)> {
+        self.locks
+            .iter()
+            .map(|site| {
+                (
+                    site.lock.clone(),
+                    format!(
+                        "{}:{}: fn `{}` acquires `{}` via `.{}()`",
+                        self.file, site.line, self.name, site.lock, site.method
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn call_trace(&self, call: &CallSite) -> String {
+        format!("{}:{}: fn `{}` calls `{}()`", self.file, call.line, self.name, call.callee)
+    }
+}
+
 /// `adr::lock_order`: builds the inter-procedural lock-acquisition graph
 /// over every scanned function and reports each cycle as a potential
 /// deadlock with its full acquisition trace. Lock identity is by receiver
@@ -1074,68 +1051,13 @@ struct LockEdge {
 /// Returns the findings plus a rendered edge list for `adr-check conc`.
 pub fn lock_order(fns: &[FnConc]) -> (Vec<Finding>, Vec<String>) {
     // fn name → indices (duplicate names across impls merge conservatively).
-    let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
-    for (i, f) in fns.iter().enumerate() {
-        by_name.entry(f.name.as_str()).or_default().push(i);
-    }
+    let by_name = callgraph::index_by_name(fns);
 
-    // Transitive lock set per fn: every lock acquired in the fn itself or
+    // Transitive lock set per fn — every lock acquired in the fn itself or
     // in any (transitively) called fn, with the call-chain trace that
-    // reaches it.
-    type LockTraces = Vec<(String, Vec<String>)>;
-    fn transitive<'a>(
-        idx: usize,
-        fns: &'a [FnConc],
-        by_name: &std::collections::BTreeMap<&'a str, Vec<usize>>,
-        memo: &mut Vec<Option<LockTraces>>,
-        visiting: &mut Vec<usize>,
-    ) -> LockTraces {
-        if let Some(done) = &memo[idx] {
-            return done.clone();
-        }
-        if visiting.contains(&idx) {
-            return Vec::new(); // recursion guard
-        }
-        visiting.push(idx);
-        let f = &fns[idx];
-        let mut out: Vec<(String, Vec<String>)> = Vec::new();
-        for site in &f.locks {
-            if !out.iter().any(|(l, _)| l == &site.lock) {
-                out.push((
-                    site.lock.clone(),
-                    vec![format!(
-                        "{}:{}: fn `{}` acquires `{}` via `.{}()`",
-                        f.file, site.line, f.name, site.lock, site.method
-                    )],
-                ));
-            }
-        }
-        for call in &f.calls {
-            let Some(callees) = by_name.get(call.callee.as_str()) else {
-                continue;
-            };
-            for &callee in callees {
-                if callee == idx {
-                    continue;
-                }
-                for (lock, trace) in transitive(callee, fns, by_name, memo, visiting) {
-                    if !out.iter().any(|(l, _)| l == &lock) {
-                        let mut full = vec![format!(
-                            "{}:{}: fn `{}` calls `{}()`",
-                            f.file, call.line, f.name, call.callee
-                        )];
-                        full.extend(trace);
-                        out.push((lock, full));
-                    }
-                }
-            }
-        }
-        visiting.pop();
-        memo[idx] = Some(out.clone());
-        out
-    }
-
-    let mut memo: Vec<Option<LockTraces>> = vec![None; fns.len()];
+    // reaches it — via the shared memoized walk; the trace strings come
+    // from the `CallNode` impl below.
+    let mut memo: Vec<Option<callgraph::FactTraces>> = vec![None; fns.len()];
     let mut edges: Vec<LockEdge> = Vec::new();
     for (idx, f) in fns.iter().enumerate() {
         // Direct edges: later acquisitions while earlier ones are held (a
@@ -1170,7 +1092,8 @@ pub fn lock_order(fns: &[FnConc]) -> (Vec<Finding>, Vec<String>) {
                         continue;
                     }
                     let mut visiting = Vec::new();
-                    for (lock, trace) in transitive(callee, fns, &by_name, &mut memo, &mut visiting)
+                    for (lock, trace) in
+                        callgraph::transitive(callee, fns, &by_name, &mut memo, &mut visiting)
                     {
                         if lock == held.lock {
                             continue;

@@ -62,7 +62,9 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod conc;
+pub mod hotpath;
 pub mod lexer;
 pub mod lints;
 pub mod parser;
@@ -115,6 +117,9 @@ pub struct Report {
     pub files_scanned: usize,
     /// Rendered lock-order graph edges (`adr-check conc` output).
     pub lock_graph: Vec<String>,
+    /// Rendered hot-path reachable-set/site dump (`adr-check hotpath`
+    /// output).
+    pub hotpath_dump: Vec<String>,
 }
 
 impl Report {
@@ -134,7 +139,7 @@ impl Report {
 /// Returns a message when the root is not a workspace or a source file or
 /// the allowlist cannot be read/parsed.
 pub fn run_checks(root: &Path) -> Result<Report, String> {
-    run_impl(root, false)
+    run_impl(root, Mode::Full)
 }
 
 /// Runs only the concurrency lints (`adr-check conc`): the five
@@ -149,13 +154,41 @@ pub fn run_checks(root: &Path) -> Result<Report, String> {
 /// Returns a message when the root is not a workspace or a source file or
 /// the allowlist cannot be read/parsed.
 pub fn run_conc(root: &Path) -> Result<Report, String> {
-    let mut report = run_impl(root, true)?;
+    let mut report = run_impl(root, Mode::ConcOnly)?;
     report.unused_allow.clear();
     report.bad_category.clear();
     Ok(report)
 }
 
-fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
+/// Runs only the hot-path resource lints (`adr-check hotpath`): the
+/// `hotpath::*` passes plus the rendered reachable-set/site dump, for
+/// iterating on the allocation budget without the other lints' noise.
+///
+/// Like [`run_conc`], allowlist staleness is not reported here — the full
+/// [`run_checks`] pass is the authority on stale entries.
+///
+/// # Errors
+/// Returns a message when the root is not a workspace or a source file,
+/// the allowlist, or the budget manifest cannot be read/parsed.
+pub fn run_hotpath(root: &Path) -> Result<Report, String> {
+    let mut report = run_impl(root, Mode::HotpathOnly)?;
+    report.unused_allow.clear();
+    report.bad_category.clear();
+    Ok(report)
+}
+
+/// Which lint families one run executes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Everything (`adr-check`).
+    Full,
+    /// Concurrency lints + lock graph only (`adr-check conc`).
+    ConcOnly,
+    /// Hot-path resource lints + dump only (`adr-check hotpath`).
+    HotpathOnly,
+}
+
+fn run_impl(root: &Path, mode: Mode) -> Result<Report, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(format!("{} has no crates/ directory — not a workspace root", root.display()));
@@ -182,9 +215,21 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
         Vec::new()
     };
 
+    // The hot-path budget manifest is optional (fixture workspaces omit
+    // it); when present, the hotpath lints enforce exact per-phase counts.
+    let budget_path = root.join("adr-check.budget");
+    let budget = if budget_path.is_file() && mode != Mode::ConcOnly {
+        let text = std::fs::read_to_string(&budget_path)
+            .map_err(|e| format!("reading {}: {e}", budget_path.display()))?;
+        Some(hotpath::Budget::parse(&text)?)
+    } else {
+        None
+    };
+
     let mut findings = Vec::new();
     let mut layer_impls = Vec::new();
     let mut all_fns: Vec<conc::FnConc> = Vec::new();
+    let mut hot_fns: Vec<hotpath::HotFn> = Vec::new();
     let mut files_scanned = 0usize;
     let mut lint_crates: Vec<(&str, Vec<Lint>)> = Vec::new();
     let all_crates = NO_PANIC_CRATES
@@ -226,7 +271,7 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
         if !src.is_dir() {
             continue; // fixture workspaces may model only some crates
         }
-        let collect_impls = GRAD_COVERAGE_CRATES.contains(crate_name) && !conc_only;
+        let collect_impls = GRAD_COVERAGE_CRATES.contains(crate_name) && mode == Mode::Full;
         let conc_crate = CONC_CRATES.contains(crate_name);
         for path in rust_files(&src)? {
             let rel = rel_path(root, &path);
@@ -235,7 +280,7 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
             let model = FileModel::parse(&text);
             files_scanned += 1;
             let mut file_findings = Vec::new();
-            if !conc_only {
+            if mode == Mode::Full {
                 for lint in lints {
                     match lint {
                         Lint::NoPanic => file_findings.extend(lints::no_panic(&rel, &model)),
@@ -250,7 +295,7 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
                     }
                 }
             }
-            if conc_crate {
+            if conc_crate && mode != Mode::HotpathOnly {
                 let uses = parser::UseMap::collect(&model.cleaned);
                 let facts = conc::collect(&rel, &model, &uses);
                 file_findings.extend(conc::unsafe_contract(&rel, &model, &facts));
@@ -263,6 +308,9 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
                 ));
                 all_fns.extend(facts.fns);
             }
+            if conc_crate && mode != Mode::ConcOnly {
+                hot_fns.extend(hotpath::collect(&rel, &model));
+            }
             if collect_impls {
                 layer_impls.extend(lints::layer_impls(&rel, &model));
             }
@@ -271,7 +319,7 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
         }
     }
 
-    if !conc_only {
+    if mode == Mode::Full {
         findings.extend(
             lints::grad_coverage(&layer_impls, &registry)
                 .into_iter()
@@ -281,8 +329,25 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
 
     // The lock-order graph is inter-procedural: it needs every scanned
     // function before edges (and cycles) can be derived.
-    let (lock_findings, lock_graph) = conc::lock_order(&all_fns);
-    findings.extend(lock_findings.into_iter().filter(|f| !allow.allows(&f.file, &f.line_text)));
+    let lock_graph = if mode == Mode::HotpathOnly {
+        Vec::new()
+    } else {
+        let (lock_findings, lock_graph) = conc::lock_order(&all_fns);
+        findings.extend(lock_findings.into_iter().filter(|f| !allow.allows(&f.file, &f.line_text)));
+        lock_graph
+    };
+
+    // So is the hot-path analysis: reachability from the declared roots
+    // crosses crate boundaries (serve → nn → tensor/reuse). Allowlist
+    // filtering happens inside (alloc audits are category-gated, lock
+    // audits are plain, panic sites are budget-counted).
+    let hotpath_dump = if mode == Mode::ConcOnly {
+        Vec::new()
+    } else {
+        let hot = hotpath::check(&hot_fns, budget.as_ref(), &allow);
+        findings.extend(hot.findings);
+        hot.dump
+    };
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     let unused_allow = allow
@@ -291,7 +356,7 @@ fn run_impl(root: &Path, conc_only: bool) -> Result<Report, String> {
         .map(|e| format!("adr-check.allow:{}: `{}: {}` matched nothing", e.line, e.path, e.pattern))
         .collect();
     let bad_category = allow.category_errors();
-    Ok(Report { findings, unused_allow, bad_category, files_scanned, lock_graph })
+    Ok(Report { findings, unused_allow, bad_category, files_scanned, lock_graph, hotpath_dump })
 }
 
 /// All `.rs` files under `dir`, recursively, sorted for stable output.

@@ -41,6 +41,14 @@ pub enum Lint {
     ScopedCapture,
     /// Unordered float reduction inside a parallel region.
     ParReduction,
+    /// Unaudited heap allocation (or budget drift) reachable from a hot
+    /// root.
+    HotAlloc,
+    /// Implicit-panic site count drifting from the hot-path budget.
+    HotPanic,
+    /// Lock acquisition, file I/O, or console output reachable from a hot
+    /// root.
+    HotLock,
 }
 
 impl Lint {
@@ -59,6 +67,9 @@ impl Lint {
             Lint::LockOrder => "adr::lock_order",
             Lint::ScopedCapture => "adr::scoped_capture",
             Lint::ParReduction => "adr::par_reduction",
+            Lint::HotAlloc => "adr::hot_alloc",
+            Lint::HotPanic => "adr::hot_panic",
+            Lint::HotLock => "adr::hot_lock",
         }
     }
 
@@ -85,6 +96,15 @@ impl Lint {
                 "Mutable captures crossing a spawn boundary are provably disjoint"
             }
             Lint::ParReduction => "Float reductions in parallel regions use a fixed order",
+            Lint::HotAlloc => {
+                "Heap allocations reachable from a hot root are audited and their per-phase \
+                 count pinned in adr-check.budget"
+            }
+            Lint::HotPanic => {
+                "Implicit panic sites reachable from a hot root match the pinned per-phase \
+                 budget"
+            }
+            Lint::HotLock => "No locks, file I/O, or console output reachable from a hot root",
         }
     }
 
@@ -102,6 +122,9 @@ impl Lint {
         Lint::LockOrder,
         Lint::ScopedCapture,
         Lint::ParReduction,
+        Lint::HotAlloc,
+        Lint::HotPanic,
+        Lint::HotLock,
     ];
 }
 

@@ -5,6 +5,7 @@
 //! cargo run -p adr-check -- --root some/workspace
 //! cargo run -p adr-check -- --format sarif > adr-check.sarif
 //! cargo run -p adr-check -- conc              # concurrency lints + lock graph
+//! cargo run -p adr-check -- hotpath           # hot-path resource lints + dump
 //! cargo run -p adr-check -- shapes            # verify the built-in model specs
 //! cargo run -p adr-check -- shapes --spec f.spec   # verify a text spec file
 //! ```
@@ -27,11 +28,16 @@ fn main() -> ExitCode {
         args.next();
         return run_shapes(args);
     }
-    let conc_only = if args.peek().map(String::as_str) == Some("conc") {
-        args.next();
-        true
-    } else {
-        false
+    let subcommand = match args.peek().map(String::as_str) {
+        Some("conc") => {
+            args.next();
+            Some("conc")
+        }
+        Some("hotpath") => {
+            args.next();
+            Some("hotpath")
+        }
+        _ => None,
     };
 
     let mut root = PathBuf::from(".");
@@ -61,7 +67,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: adr-check [conc] [--root <workspace-root>] [--format human|sarif]"
+                    "usage: adr-check [conc|hotpath] [--root <workspace-root>] \
+                     [--format human|sarif]"
                 );
                 println!("       adr-check shapes [--spec <spec-file>]");
                 return ExitCode::SUCCESS;
@@ -73,7 +80,11 @@ fn main() -> ExitCode {
         }
     }
 
-    let run = if conc_only { adr_check::run_conc } else { adr_check::run_checks };
+    let run = match subcommand {
+        Some("conc") => adr_check::run_conc,
+        Some("hotpath") => adr_check::run_hotpath,
+        _ => adr_check::run_checks,
+    };
     let report = match run(&root) {
         Ok(report) => report,
         Err(message) => {
@@ -92,10 +103,15 @@ fn main() -> ExitCode {
         return if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
 
-    if conc_only {
+    if subcommand == Some("conc") {
         println!("lock-order graph ({} edge(s)):", report.lock_graph.len());
         for edge in &report.lock_graph {
             println!("  {edge}");
+        }
+    }
+    if subcommand == Some("hotpath") {
+        for line in &report.hotpath_dump {
+            println!("{line}");
         }
     }
     for finding in &report.findings {

@@ -223,6 +223,7 @@ mod tests {
             bad_category: vec!["adr-check.allow:9: unknown audit category `vibes`".to_string()],
             files_scanned: 1,
             lock_graph: Vec::new(),
+            hotpath_dump: Vec::new(),
         }
     }
 
@@ -287,6 +288,7 @@ mod tests {
             bad_category: Vec::new(),
             files_scanned: 0,
             lock_graph: Vec::new(),
+            hotpath_dump: Vec::new(),
         };
         let doc = to_sarif(&report);
         validate_sarif(&doc).expect("empty report renders valid SARIF");

@@ -217,6 +217,60 @@ fn conc_subcommand_reports_only_concurrency_findings() {
     assert!(!text.contains("adr::stale_allow"), "staleness reported by conc run:\n{text}");
 }
 
+#[test]
+fn hotpath_subcommand_flags_seeded_violations() {
+    let root = manifest_dir().join("fixtures/hotpath");
+    let (code, text) = run_with_args(&["hotpath", "--root", &root.to_string_lossy()]);
+    assert_eq!(code, 1, "seeded hot-path violations must exit 1; output:\n{text}");
+    for lint in ["adr::hot_alloc", "adr::hot_panic", "adr::hot_lock"] {
+        assert!(text.contains(lint), "missing {lint} in hotpath output:\n{text}");
+    }
+    // The reachable-set dump is printed before the findings.
+    assert!(text.contains("reachable fn(s) from root"), "missing dump:\n{text}");
+    assert!(text.contains("phase `im2col`"), "missing im2col phase in dump:\n{text}");
+    // The cross-file edge attributes hashpack's indexing sites to the
+    // `reuse_forward` phase as well as to `hash`.
+    assert!(
+        text.contains("(phase `reuse_forward`)") && text.contains("fn `hash_all`"),
+        "missing cross-file attribution:\n{text}"
+    );
+    // The compliant twins allocate/panic/print identically but are not
+    // reachable from any root, so none of them may be named.
+    for twin in ["patch_scratch_cold", "decode_cold", "dump_stats", "load_checkpoint_cold"] {
+        assert!(!text.contains(twin), "compliant twin `{twin}` was flagged:\n{text}");
+    }
+    // Sequential lints are out of scope for the hotpath subcommand.
+    assert!(!text.contains("adr::no_panic"), "sequential lint leaked into hotpath run:\n{text}");
+}
+
+#[test]
+fn hotpath_budget_drift_fails_with_the_pinned_count() {
+    let root = manifest_dir().join("fixtures/hotpath_drift");
+    let (code, text) = run_with_args(&["hotpath", "--root", &root.to_string_lossy()]);
+    assert_eq!(code, 1, "budget drift must exit 1; output:\n{text}");
+    assert!(
+        text.contains("adr-check.budget pins 0") && text.contains("re-pin `im2col.alloc`"),
+        "missing drift diagnostic:\n{text}"
+    );
+    // Roots declared in the analyzer but absent from the tree are findings
+    // when a budget is committed.
+    assert!(
+        text.contains("hot root") && text.contains("`poll`"),
+        "missing absent-root diagnostic:\n{text}"
+    );
+}
+
+#[test]
+fn hotpath_subcommand_is_clean_on_the_shipped_workspace() {
+    let root = manifest_dir().join("../..");
+    let (code, text) = run_with_args(&["hotpath", "--root", &root.to_string_lossy()]);
+    assert_eq!(code, 0, "shipped workspace must pass adr-check hotpath; output:\n{text}");
+    // The committed budget was loaded and every phase is accounted for.
+    for phase in ["im2col", "hash", "gemm", "reuse_forward", "serve"] {
+        assert!(text.contains(&format!("phase `{phase}`")), "missing {phase} in dump:\n{text}");
+    }
+}
+
 fn run_shapes(extra: &[&str]) -> (i32, String) {
     let output = Command::new(env!("CARGO_BIN_EXE_adr-check"))
         .arg("shapes")

@@ -1,0 +1,127 @@
+//! Runtime cross-check of the serving loop's allocation budget
+//! (`adr-check.budget`, `serve_request`).
+//!
+//! Mirrors `crates/reuse/tests/counting_alloc.rs`: a counting
+//! `#[global_allocator]`, one thread, no metrics sink. After warmup,
+//! each additional submit→poll round trip of a single-request
+//! micro-batch on the exact path (ladder stage 0, healthy traffic, no
+//! faults) must perform exactly the pinned number of heap allocations —
+//! i.e. zero allocations that the budget does not account for.
+//!
+//! The pins describe the *default* build: the `checked` sanitizer layer
+//! deliberately trades allocations for diagnostics, so this harness is
+//! compiled out under that feature.
+#![cfg(not(feature = "checked"))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adr_nn::conv::Conv2d;
+use adr_nn::dense::Dense;
+use adr_nn::network::Network;
+use adr_nn::relu::Relu;
+use adr_serve::clock::ManualClock;
+use adr_serve::engine::{Engine, EngineConfig};
+use adr_tensor::im2col::ConvGeom;
+use adr_tensor::par::set_thread_override;
+use adr_tensor::rng::AdrRng;
+use adr_tensor::tensor4::Tensor4;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to `System`; the counter is
+// a relaxed atomic with no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Reads one `[runtime]` pin from the workspace `adr-check.budget`
+/// (duplicated per test binary; see the reuse twin for why).
+fn runtime_budget(key: &str) -> u64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../adr-check.budget");
+    let text = std::fs::read_to_string(path).expect("workspace adr-check.budget exists");
+    let mut in_runtime = false;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_runtime = line == "[runtime]";
+            continue;
+        }
+        if !in_runtime {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == key {
+                return v.trim().parse().expect("budget count parses");
+            }
+        }
+    }
+    panic!("adr-check.budget [runtime] is missing `{key}`");
+}
+
+fn tiny_net(seed: u64) -> Network {
+    let mut rng = AdrRng::seeded(seed);
+    let mut net = Network::new((6, 6, 1));
+    let geom = ConvGeom::new(6, 6, 1, 3, 3, 1, 0).expect("valid geometry");
+    net.push(Box::new(Conv2d::new("conv1", geom, 4, &mut rng)));
+    net.push(Box::new(Relu::new("relu1")));
+    net.push(Box::new(Dense::new("fc", 4 * 4 * 4, 3, &mut rng)));
+    net
+}
+
+#[test]
+fn steady_state_request_allocations_match_the_budget() {
+    set_thread_override(Some(1));
+    let cfg = EngineConfig { max_batch: 1, ..EngineConfig::default() };
+    let mut engine =
+        Engine::with_clock(tiny_net(9), cfg, Box::new(ManualClock::new())).expect("valid config");
+    let image = Tensor4::from_fn(1, 6, 6, 1, |_, y, x, _| (y * 6 + x) as f32 * 0.01);
+
+    let request_round = |engine: &mut Engine| {
+        engine.submit(&image).expect("healthy request admits");
+        let results = engine.poll();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok(), "healthy request serves");
+    };
+    for _ in 0..3 {
+        request_round(&mut engine); // warmup: queue/report capacity, lazy init
+    }
+    assert_eq!(engine.stage(), 0, "healthy traffic stays on the exact path");
+
+    let expected = runtime_budget("serve_request");
+    for step in 0..5 {
+        let before = allocs();
+        request_round(&mut engine);
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            expected,
+            "serve request {step}: allocation count drifted from \
+             adr-check.budget `serve_request`"
+        );
+    }
+    assert_eq!(engine.report().completed, 8, "all rounds served");
+}

@@ -254,6 +254,178 @@ pub fn run_serve_bench(cfg: &BenchConfig) -> Result<Json, String> {
     ]))
 }
 
+/// Noise floor for wall-time share comparison: a phase whose *baseline*
+/// share of its layer's total is below this is dominated by timer jitter
+/// at bench scale and is not gated.
+const SHARE_NOISE_FLOOR: f64 = 0.05;
+
+fn rel_diff(base: f64, fresh: f64) -> f64 {
+    if base == 0.0 {
+        return if fresh == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((fresh - base) / base).abs()
+}
+
+fn field_f64(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_f64()
+}
+
+/// Checks that the two documents describe the *same workload* (model,
+/// sizing, seed); a comparison across different workloads is meaningless
+/// and reported as a violation rather than silently tolerated.
+fn check_workload(base: &Json, fresh: &Json, out: &mut Vec<String>, doc: &str) {
+    let (Some(b), Some(f)) = (base.get("workload"), fresh.get("workload")) else {
+        out.push(format!("{doc}: workload section missing"));
+        return;
+    };
+    if b != f {
+        out.push(format!(
+            "{doc}: workload mismatch — baseline {} vs fresh {}",
+            b.render_pretty().replace('\n', " "),
+            f.render_pretty().replace('\n', " ")
+        ));
+    }
+}
+
+/// Compares a fresh `BENCH_train.json` against a committed baseline.
+///
+/// Two gates per layer:
+/// * **FLOP attribution** (`flops_actual`, `flops_exact`, `rc`,
+///   `reuse_rate`): deterministic for a fixed seed, so the relative
+///   difference must stay within `tol` (0 would also be defensible; the
+///   tolerance keeps the gate robust to intentional cost-model tuning
+///   that ships with a re-baseline).
+/// * **Wall-time shape**: absolute wall times are machine-dependent, so
+///   each phase's *share of its layer's total* is compared instead, with
+///   an absolute-difference bound of `tol` and a [`SHARE_NOISE_FLOOR`]
+///   on the baseline share.
+///
+/// Returns the list of violations (empty = pass).
+pub fn compare_train(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    check_workload(base, fresh, &mut out, "BENCH_train");
+    let (Some(base_layers), Some(fresh_layers)) =
+        (base.get("layers").and_then(Json::as_arr), fresh.get("layers").and_then(Json::as_arr))
+    else {
+        out.push("BENCH_train: layers section missing".to_string());
+        return out;
+    };
+    if base_layers.len() != fresh_layers.len() {
+        out.push(format!(
+            "BENCH_train: layer count changed ({} -> {})",
+            base_layers.len(),
+            fresh_layers.len()
+        ));
+        return out;
+    }
+    for (b, f) in base_layers.iter().zip(fresh_layers) {
+        let name = b.get("layer").and_then(Json::as_str).unwrap_or("?");
+        if f.get("layer").and_then(Json::as_str) != Some(name) {
+            out.push(format!("BENCH_train: layer order changed at `{name}`"));
+            continue;
+        }
+        for field in ["flops_actual", "flops_exact", "rc", "reuse_rate"] {
+            let (Some(bv), Some(fv)) = (field_f64(b, &[field]), field_f64(f, &[field])) else {
+                out.push(format!("BENCH_train/{name}: `{field}` missing"));
+                continue;
+            };
+            let diff = rel_diff(bv, fv);
+            if diff > tol {
+                out.push(format!(
+                    "BENCH_train/{name}: `{field}` drifted {:.1}% (baseline {bv}, fresh {fv}, \
+                     tolerance {:.0}%)",
+                    diff * 100.0,
+                    tol * 100.0
+                ));
+            }
+        }
+        let (Some(bt), Some(ft)) =
+            (field_f64(b, &["wall_ns", "total"]), field_f64(f, &["wall_ns", "total"]))
+        else {
+            out.push(format!("BENCH_train/{name}: wall_ns.total missing"));
+            continue;
+        };
+        if bt <= 0.0 || ft <= 0.0 {
+            out.push(format!("BENCH_train/{name}: non-positive wall_ns.total"));
+            continue;
+        }
+        for phase in ["im2col", "hash", "cluster", "centroid_gemm", "scatter"] {
+            let (Some(bp), Some(fp)) =
+                (field_f64(b, &["wall_ns", phase]), field_f64(f, &["wall_ns", phase]))
+            else {
+                out.push(format!("BENCH_train/{name}: wall_ns.{phase} missing"));
+                continue;
+            };
+            let base_share = bp / bt;
+            let fresh_share = fp / ft;
+            if base_share < SHARE_NOISE_FLOOR {
+                continue;
+            }
+            let diff = (fresh_share - base_share).abs();
+            if diff > tol {
+                out.push(format!(
+                    "BENCH_train/{name}: `{phase}` wall-time share moved from {:.1}% to {:.1}% \
+                     (> {:.0} points)",
+                    base_share * 100.0,
+                    fresh_share * 100.0,
+                    tol * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Compares a fresh `BENCH_serve.json` against a committed baseline:
+/// the full counter set and the per-stage request attribution are
+/// deterministic under the seeded burst and must match exactly; the
+/// FLOP totals get the same `tol` relative bound as the training gate.
+pub fn compare_serve(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    check_workload(base, fresh, &mut out, "BENCH_serve");
+    match (
+        base.get("counters").and_then(Json::as_obj),
+        fresh.get("counters").and_then(Json::as_obj),
+    ) {
+        (Some(bc), Some(_)) => {
+            for (key, bv) in bc {
+                let fv = fresh.get("counters").and_then(|c| c.get(key));
+                if fv.map(|v| v.as_u64()) != Some(bv.as_u64()) {
+                    out.push(format!(
+                        "BENCH_serve: counter `{key}` changed (baseline {}, fresh {})",
+                        bv.as_u64().unwrap_or(0),
+                        fv.and_then(Json::as_u64).unwrap_or(0)
+                    ));
+                }
+            }
+        }
+        _ => out.push("BENCH_serve: counters section missing".to_string()),
+    }
+    if base.get("requests_per_stage") != fresh.get("requests_per_stage") {
+        out.push("BENCH_serve: requests_per_stage attribution changed".to_string());
+    }
+    for field in ["flops_actual", "flops_exact"] {
+        let (Some(bv), Some(fv)) = (field_f64(base, &[field]), field_f64(fresh, &[field])) else {
+            out.push(format!("BENCH_serve: `{field}` missing"));
+            continue;
+        };
+        let diff = rel_diff(bv, fv);
+        if diff > tol {
+            out.push(format!(
+                "BENCH_serve: `{field}` drifted {:.1}% (baseline {bv}, fresh {fv}, \
+                 tolerance {:.0}%)",
+                diff * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -275,5 +447,76 @@ mod tests {
         adr_obs::bench::validate(&doc).unwrap();
         let admitted = doc.get("counters").unwrap().get("admitted").and_then(Json::as_u64);
         assert_eq!(admitted, Some(8));
+    }
+
+    fn train_doc(hash_ns: u64, flops_actual: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+              "workload": {{"model": "cifarnet", "classes": 4, "batch": 4, "steps": 2,
+                            "seed": 42, "quick": true}},
+              "layers": [{{
+                "layer": "conv1",
+                "wall_ns": {{"im2col": 100, "hash": {hash_ns}, "cluster": 100,
+                             "centroid_gemm": 200, "scatter": 100,
+                             "total": {total}}},
+                "flops_actual": {flops_actual}, "flops_exact": 29491200,
+                "rc": 0.148, "reuse_rate": 0.0
+              }}]
+            }}"#,
+            total = 500 + hash_ns,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_train_documents_compare_clean() {
+        let base = train_doc(500, 8_238_720);
+        assert_eq!(compare_train(&base, &base, 0.15), Vec::<String>::new());
+    }
+
+    #[test]
+    fn train_wall_share_and_flop_drift_are_caught() {
+        let base = train_doc(500, 8_238_720);
+        // hash goes from 50% of the layer to ~86%: a share regression.
+        let slow_hash = train_doc(3000, 8_238_720);
+        let violations = compare_train(&base, &slow_hash, 0.15);
+        assert!(violations.iter().any(|v| v.contains("`hash` wall-time share")), "{violations:#?}");
+        // FLOP attribution is seeded-deterministic: +30% actual FLOPs fails.
+        let more_flops = train_doc(500, 10_710_336);
+        let violations = compare_train(&base, &more_flops, 0.15);
+        assert!(violations.iter().any(|v| v.contains("`flops_actual` drifted")), "{violations:#?}");
+        // Both drifts pass under a looser tolerance.
+        assert!(compare_train(&base, &more_flops, 0.5).is_empty());
+    }
+
+    #[test]
+    fn train_workload_mismatch_is_a_violation() {
+        let base = train_doc(500, 8_238_720);
+        let mut other = train_doc(500, 8_238_720);
+        let Json::Obj(top) = &mut other else { panic!() };
+        top.iter_mut().find(|(k, _)| k == "workload").unwrap().1 = Json::Obj(vec![
+            ("model".into(), Json::Str("cifarnet".into())),
+            ("seed".into(), Json::Uint(7)),
+        ]);
+        let violations = compare_train(&base, &other, 0.15);
+        assert!(violations.iter().any(|v| v.contains("workload mismatch")), "{violations:#?}");
+    }
+
+    #[test]
+    fn serve_counter_changes_are_exact_failures() {
+        let base = run_serve_bench(&BenchConfig::quick()).unwrap();
+        assert_eq!(compare_serve(&base, &base, 0.15), Vec::<String>::new());
+        let mut fresh = run_serve_bench(&BenchConfig::quick()).unwrap();
+        let Json::Obj(top) = &mut fresh else { panic!() };
+        let Json::Obj(counters) = &mut top.iter_mut().find(|(k, _)| k == "counters").unwrap().1
+        else {
+            panic!()
+        };
+        counters.iter_mut().find(|(k, _)| k == "deadline_missed").unwrap().1 = Json::Uint(3);
+        let violations = compare_serve(&base, &fresh, 0.15);
+        assert!(
+            violations.iter().any(|v| v.contains("counter `deadline_missed` changed")),
+            "{violations:#?}"
+        );
     }
 }

@@ -22,7 +22,10 @@
 //!   [--requests N] [--out-dir DIR]` — run the seeded step-profile and
 //!   serving workloads and atomically emit schema-validated
 //!   `BENCH_train.json` / `BENCH_serve.json` (DESIGN.md §11);
-//!   `--validate FILE` re-checks an existing document instead.
+//!   `--validate FILE` re-checks an existing document instead, and
+//!   `--compare-baseline DIR --compare-fresh DIR [--tolerance F]` gates a
+//!   fresh pair of documents against committed baselines (FLOP attribution
+//!   by relative difference, wall time by per-phase share of layer total).
 //!
 //! Everything is deterministic given `--seed`.
 
@@ -378,6 +381,49 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
+    // `adr bench --compare-baseline DIR --compare-fresh DIR [--tolerance F]`
+    // gates a fresh pair of BENCH documents against committed baselines —
+    // CI's perf-regression check.
+    if let Some(base_dir) = args.options.get("compare-baseline") {
+        let fresh_dir = args
+            .options
+            .get("compare-fresh")
+            .ok_or("--compare-baseline needs --compare-fresh <dir>")?;
+        let tolerance: f64 = args.get("tolerance", 0.15)?;
+        let load = |dir: &str, name: &str| -> Result<obs::json::Json, String> {
+            let path = std::path::Path::new(dir).join(name);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            obs::json::Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+        };
+        let mut violations = adaptive_deep_reuse::bench::compare_train(
+            &load(base_dir, "BENCH_train.json")?,
+            &load(fresh_dir, "BENCH_train.json")?,
+            tolerance,
+        );
+        violations.extend(adaptive_deep_reuse::bench::compare_serve(
+            &load(base_dir, "BENCH_serve.json")?,
+            &load(fresh_dir, "BENCH_serve.json")?,
+            tolerance,
+        ));
+        if violations.is_empty() {
+            println!(
+                "bench compare: {fresh_dir} matches {base_dir} within {:.0}% tolerance",
+                tolerance * 100.0
+            );
+            return Ok(());
+        }
+        for v in &violations {
+            eprintln!("bench compare: {v}");
+        }
+        return Err(format!(
+            "{} bench regression(s) beyond {:.0}% tolerance — if intentional, re-baseline by \
+             committing the fresh BENCH documents",
+            violations.len(),
+            tolerance * 100.0
+        ));
+    }
+
     let mut cfg = if args.flag("quick") { BenchConfig::quick() } else { BenchConfig::full() };
     cfg.seed = args.get("seed", cfg.seed)?;
     cfg.steps = args.get("steps", cfg.steps)?;
@@ -435,7 +481,8 @@ const USAGE: &str = "usage: adr <train|eval|similarity|serve|bench> [options]
                  [--queue N] [--max-batch N] [--deadline-ms N]
                  [--demo N] [--listen HOST:PORT]
   adr bench      [--quick] [--json] [--seed N] [--steps N] [--batch N]
-                 [--requests N] [--out-dir DIR] | --validate FILE";
+                 [--requests N] [--out-dir DIR] | --validate FILE
+                 | --compare-baseline DIR --compare-fresh DIR [--tolerance F]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
