@@ -64,6 +64,7 @@ pub const HOT_ROOTS: &[(&str, &str, &str)] = &[
     ("crates/tensor/src/matrix.rs", "matmul", "gemm"),
     ("crates/reuse/src/forward.rs", "reuse_forward", "reuse_forward"),
     ("crates/serve/src/engine.rs", "poll", "serve"),
+    ("crates/serve/src/gateway.rs", "poll", "gateway"),
 ];
 
 /// Allowlist categories accepted by `adr::hot_alloc` suppressions:

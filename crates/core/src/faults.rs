@@ -129,6 +129,16 @@ struct ScheduledServeFault {
     fired: bool,
 }
 
+/// A tenant-scoped output poisoning: the next `left` batches served for
+/// `tenant` have their first logit overwritten with NaN after the forward
+/// pass, exercising the quarantine path for exactly one tenant while
+/// every other tenant's traffic stays clean.
+#[derive(Clone, Debug)]
+struct TenantPoison {
+    tenant: String,
+    left: usize,
+}
+
 /// A deterministic script of failures for one serving run — the serving
 /// counterpart of [`FaultPlan`], keyed by micro-batch index instead of
 /// training iteration. Same one-shot semantics: each scheduled fault fires
@@ -138,6 +148,8 @@ pub struct ServeFaultPlan {
     scheduled: Vec<ScheduledServeFault>,
     poison_requests_left: usize,
     corrupt_load_armed: bool,
+    corrupt_swap_armed: bool,
+    tenant_poisons: Vec<TenantPoison>,
 }
 
 impl ServeFaultPlan {
@@ -167,6 +179,26 @@ impl ServeFaultPlan {
     #[must_use]
     pub fn corrupt_checkpoint_load(mut self) -> Self {
         self.corrupt_load_armed = true;
+        self
+    }
+
+    /// Arms a one-shot `SwapCorruptArtifact` fault: the next artifact read
+    /// performed *by a hot swap* has a mid-file byte flipped before
+    /// parsing, exercising the gateway's verify-and-rollback path without
+    /// touching ordinary startup loads.
+    #[must_use]
+    pub fn corrupt_swap_artifact(mut self) -> Self {
+        self.corrupt_swap_armed = true;
+        self
+    }
+
+    /// Schedules a tenant-scoped `PoisonOutput`: the next `n` batches the
+    /// gateway serves for `tenant` get a NaN first logit after the forward
+    /// pass. Other tenants' batches are untouched, so isolation tests can
+    /// pin that quarantine and retry stay per-tenant.
+    #[must_use]
+    pub fn poison_tenant_output(mut self, tenant: &str, n: usize) -> Self {
+        self.tenant_poisons.push(TenantPoison { tenant: tenant.to_string(), left: n });
         self
     }
 
@@ -204,10 +236,38 @@ impl ServeFaultPlan {
         true
     }
 
+    /// The swap-window twin of [`ServeFaultPlan::corrupt_load`]: flips one
+    /// mid-file byte of a *hot-swap* artifact read if armed by
+    /// [`ServeFaultPlan::corrupt_swap_artifact`]. One-shot.
+    pub fn corrupt_swap(&mut self, bytes: &mut [u8]) -> bool {
+        if !self.corrupt_swap_armed || bytes.is_empty() {
+            return false;
+        }
+        self.corrupt_swap_armed = false;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        true
+    }
+
+    /// Consumes one tenant-scoped output poisoning for `tenant`, if any
+    /// remain. The gateway calls this once per batch it serves for the
+    /// tenant.
+    pub fn take_tenant_poison(&mut self, tenant: &str) -> bool {
+        for p in &mut self.tenant_poisons {
+            if p.tenant == tenant && p.left > 0 {
+                p.left -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// True when every scheduled fault has fired and nothing remains armed.
     pub fn exhausted(&self) -> bool {
         self.poison_requests_left == 0
             && !self.corrupt_load_armed
+            && !self.corrupt_swap_armed
+            && self.tenant_poisons.iter().all(|p| p.left == 0)
             && self.scheduled.iter().all(|s| s.fired)
     }
 }
@@ -263,6 +323,29 @@ mod tests {
         assert!(plan.take_request_poison());
         assert!(plan.take_request_poison());
         assert!(!plan.take_request_poison());
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn swap_corruption_is_independent_of_load_corruption() {
+        let mut plan = ServeFaultPlan::new().corrupt_swap_artifact();
+        let mut bytes = vec![0u8; 8];
+        assert!(!plan.corrupt_load(&mut bytes), "swap arming must not hit ordinary loads");
+        assert!(plan.corrupt_swap(&mut bytes));
+        assert_eq!(bytes[4], 0x40);
+        let mut again = vec![0u8; 8];
+        assert!(!plan.corrupt_swap(&mut again), "swap corruption is one-shot");
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn tenant_poison_is_scoped_and_bounded() {
+        let mut plan = ServeFaultPlan::new().poison_tenant_output("beta", 2);
+        assert!(!plan.take_tenant_poison("alpha"), "other tenants stay clean");
+        assert!(plan.take_tenant_poison("beta"));
+        assert!(!plan.exhausted());
+        assert!(plan.take_tenant_poison("beta"));
+        assert!(!plan.take_tenant_poison("beta"), "tenant poison is bounded");
         assert!(plan.exhausted());
     }
 

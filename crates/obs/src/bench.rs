@@ -14,24 +14,48 @@ use crate::json::Json;
 
 /// Schema tag of the training BENCH file.
 pub const TRAIN_SCHEMA: &str = "adr-bench-train/v1";
-/// Schema tag of the serving BENCH file.
-pub const SERVE_SCHEMA: &str = "adr-bench-serve/v1";
+/// Schema tag of the serving BENCH file. `v2` switched the workload from a
+/// single engine to the multi-tenant gateway: gateway-wide totals plus
+/// per-tenant and per-model attribution sections.
+pub const SERVE_SCHEMA: &str = "adr-bench-serve/v2";
 
-/// Counter names every serving BENCH file must carry (mirrors
-/// `EngineReport::counters()`).
-pub const SERVE_COUNTER_NAMES: [&str; 12] = [
+/// Gateway-wide counter names every serving BENCH file must carry
+/// (mirrors `GatewayReport::counters()`).
+pub const SERVE_COUNTER_NAMES: [&str; 9] = [
     "admitted",
     "completed",
     "rejected_shape",
     "rejected_non_finite",
     "shed_overloaded",
+    "rate_limited",
     "deadline_missed",
     "failed_non_finite",
     "batches",
-    "degraded_steps",
-    "recovered_steps",
-    "quarantined_batches",
-    "retried_batches",
+];
+
+/// Per-tenant counter names every entry of the `tenants` section must
+/// carry (mirrors `TenantCounters`, minus the `requests_per_stage` array
+/// which is validated separately).
+pub const SERVE_TENANT_COUNTER_NAMES: [&str; 8] = [
+    "admitted",
+    "completed",
+    "rejected_shape",
+    "rejected_non_finite",
+    "shed_overloaded",
+    "rate_limited",
+    "deadline_missed",
+    "failed_non_finite",
+];
+
+/// Per-model counter names every entry of the `models` section must carry
+/// (mirrors `ModelCounters`).
+pub const SERVE_MODEL_COUNTER_NAMES: [&str; 6] = [
+    "batches",
+    "generation",
+    "swaps_completed",
+    "swaps_rolled_back",
+    "flops_actual",
+    "flops_exact",
 ];
 
 /// Phase keys every per-layer `wall_ns` object must carry.
@@ -139,13 +163,40 @@ fn validate_serve(doc: &Json) -> Result<(), String> {
         require_uint(counters, "counters", name)?;
     }
 
-    let stages = doc
-        .get("requests_per_stage")
-        .and_then(Json::as_arr)
-        .ok_or("$.requests_per_stage: missing or not an array")?;
-    for (i, v) in stages.iter().enumerate() {
-        if v.as_u64().is_none() {
-            return Err(format!("$.requests_per_stage[{i}]: not an unsigned integer"));
+    // Per-tenant attribution: at least one tenant, each carrying the full
+    // counter set and its own per-stage request histogram.
+    let tenants = require_obj(doc, "$", "tenants")?;
+    let tenant_pairs = tenants.as_obj().unwrap_or_default();
+    if tenant_pairs.is_empty() {
+        return Err("$.tenants: empty — the gateway burst must cover at least one tenant".into());
+    }
+    for (tenant, entry) in tenant_pairs {
+        let path = format!("tenants.{tenant}");
+        for name in SERVE_TENANT_COUNTER_NAMES {
+            require_uint(entry, &path, name)?;
+        }
+        let stages = entry
+            .get("requests_per_stage")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("$.{path}.requests_per_stage: missing or not an array"))?;
+        for (i, v) in stages.iter().enumerate() {
+            if v.as_u64().is_none() {
+                return Err(format!("$.{path}.requests_per_stage[{i}]: not an unsigned integer"));
+            }
+        }
+    }
+
+    // Per-model attribution: at least one model, each with generation and
+    // swap accounting.
+    let models = require_obj(doc, "$", "models")?;
+    let model_pairs = models.as_obj().unwrap_or_default();
+    if model_pairs.is_empty() {
+        return Err("$.models: empty — the gateway burst must cover at least one model".into());
+    }
+    for (model, entry) in model_pairs {
+        let path = format!("models.{model}");
+        for name in SERVE_MODEL_COUNTER_NAMES {
+            require_uint(entry, &path, name)?;
         }
     }
 
@@ -256,10 +307,16 @@ mod tests {
         assert!(err.contains("hash"), "{err}");
     }
 
-    #[test]
-    fn serve_document_requires_all_engine_counters() {
+    fn minimal_serve() -> Json {
         let counters = obj(SERVE_COUNTER_NAMES.iter().map(|&n| (n, Json::Uint(0))).collect());
-        let doc = obj(vec![
+        let tenant = {
+            let mut pairs: Vec<(&str, Json)> =
+                SERVE_TENANT_COUNTER_NAMES.iter().map(|&n| (n, Json::Uint(0))).collect();
+            pairs.push(("requests_per_stage", Json::Arr(vec![Json::Uint(12)])));
+            obj(pairs)
+        };
+        let model = obj(SERVE_MODEL_COUNTER_NAMES.iter().map(|&n| (n, Json::Uint(0))).collect());
+        obj(vec![
             ("schema", Json::Str(SERVE_SCHEMA.into())),
             (
                 "workload",
@@ -270,13 +327,19 @@ mod tests {
                 ]),
             ),
             ("counters", counters),
-            ("requests_per_stage", Json::Arr(vec![Json::Uint(12)])),
+            ("tenants", obj(vec![("steady", tenant)])),
+            ("models", obj(vec![("cifarnet", model)])),
             ("latency_bucket_counts", Json::Arr((0..11).map(|_| Json::Uint(0)).collect())),
             ("flops_actual", Json::Uint(10)),
             ("flops_exact", Json::Uint(10)),
             ("flop_savings", Json::Num(0.0)),
             ("wall_ns", Json::Uint(1)),
-        ]);
+        ])
+    }
+
+    #[test]
+    fn serve_document_requires_all_gateway_counters() {
+        let doc = minimal_serve();
         validate(&doc).unwrap();
 
         let mut broken = doc.clone();
@@ -288,5 +351,40 @@ mod tests {
         }
         let err = validate(&broken).unwrap_err();
         assert!(err.contains("batches"), "{err}");
+    }
+
+    #[test]
+    fn serve_document_requires_tenant_and_model_attribution() {
+        // An empty tenants section is a violation, not a degenerate pass.
+        let mut no_tenants = minimal_serve();
+        if let Json::Obj(pairs) = &mut no_tenants {
+            pairs.iter_mut().find(|(k, _)| k == "tenants").unwrap().1 = Json::Obj(vec![]);
+        }
+        let err = validate(&no_tenants).unwrap_err();
+        assert!(err.contains("tenants"), "{err}");
+
+        // A tenant missing its rate_limited counter names the exact path.
+        let mut broken = minimal_serve();
+        if let Json::Obj(pairs) = &mut broken {
+            if let Some((_, Json::Obj(tenants))) = pairs.iter_mut().find(|(k, _)| k == "tenants") {
+                if let Some((_, Json::Obj(entry))) = tenants.first_mut() {
+                    entry.retain(|(k, _)| k != "rate_limited");
+                }
+            }
+        }
+        let err = validate(&broken).unwrap_err();
+        assert!(err.contains("tenants.steady.rate_limited"), "{err}");
+
+        // A model missing its generation counter is equally typed.
+        let mut broken = minimal_serve();
+        if let Json::Obj(pairs) = &mut broken {
+            if let Some((_, Json::Obj(models))) = pairs.iter_mut().find(|(k, _)| k == "models") {
+                if let Some((_, Json::Obj(entry))) = models.first_mut() {
+                    entry.retain(|(k, _)| k != "generation");
+                }
+            }
+        }
+        let err = validate(&broken).unwrap_err();
+        assert!(err.contains("models.cifarnet.generation"), "{err}");
     }
 }

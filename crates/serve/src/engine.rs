@@ -91,9 +91,15 @@ pub struct Engine {
     report: EngineReport,
     next_id: u64,
     batch_index: usize,
-    /// The ladder stage whose policy is currently applied to the network's
-    /// reuse layers; `None` forces a re-apply on the next batch.
-    stage_applied: Option<usize>,
+    /// The stage policy currently applied to the network's reuse layers;
+    /// `None` forces a re-apply on the next batch. Tracked by *value* so a
+    /// gateway driving per-tenant ladders through this engine never serves
+    /// one tenant's batch under another tenant's reuse configuration.
+    applied: Option<StagePolicy>,
+    /// Latest observed per-batch drain time; seeds the `retry_after` hint
+    /// on [`RequestError::Overloaded`]. Starts at the configured latency
+    /// target until a real batch has been measured.
+    drain_estimate: Duration,
     consecutive_poisoned: u32,
 }
 
@@ -131,6 +137,7 @@ impl Engine {
             requests_per_stage: vec![0; ladder.num_stages()],
             ..EngineReport::default()
         };
+        let drain_estimate = cfg.target_batch_latency;
         Ok(Self {
             net,
             cfg,
@@ -141,7 +148,8 @@ impl Engine {
             report,
             next_id: 0,
             batch_index: 0,
-            stage_applied: None,
+            applied: None,
+            drain_estimate,
             consecutive_poisoned: 0,
         })
     }
@@ -270,6 +278,7 @@ impl Engine {
             return Err(RequestError::Overloaded {
                 depth: self.queue.len(),
                 capacity: self.cfg.queue_capacity,
+                retry_after: self.retry_after_hint(),
             });
         }
         let id = self.next_id;
@@ -322,16 +331,19 @@ impl Engine {
         }
 
         let stage_at_batch = self.ladder.stage();
-        if self.stage_applied != Some(stage_at_batch) {
-            let policy = self.ladder.policy();
+        let policy = self.ladder.policy();
+        if self.applied != Some(policy) {
             self.apply_policy(policy);
-            self.stage_applied = Some(stage_at_batch);
+            self.applied = Some(policy);
         }
 
         let mut outcome = self.run_sanitized(&batch, poison_output, stage_at_batch);
 
         let t1 = self.clock.now();
         let batch_latency = t1.checked_sub(t0).unwrap_or_default();
+        if !batch_latency.is_zero() {
+            self.drain_estimate = batch_latency;
+        }
         self.report.batches += 1;
         self.report.flops_actual = self.net.flops().forward;
         self.report.flops_exact = self.net.baseline_flops().forward;
@@ -440,7 +452,7 @@ impl Engine {
         self.report.retried_batches += 1;
         self.event(ServeEventKind::RetriedExact, "re-running batch on exact GEMM".into());
         self.apply_policy(StagePolicy::Exact);
-        self.stage_applied = None;
+        self.applied = None;
         let retried = match self.net.infer(batch) {
             Ok(t) => t,
             Err(e) => {
@@ -477,8 +489,14 @@ impl Engine {
     pub fn serve_all(&mut self, images: &[Tensor4]) -> Vec<Result<InferResponse, RequestError>> {
         // Placeholder overwritten for every input below: each image either
         // fails at submit or is answered by drain().
-        let mut out: Vec<Result<InferResponse, RequestError>> =
-            vec![Err(RequestError::Overloaded { depth: 0, capacity: 0 }); images.len()];
+        let mut out: Vec<Result<InferResponse, RequestError>> = vec![
+            Err(RequestError::Overloaded {
+                depth: 0,
+                capacity: 0,
+                retry_after: Duration::ZERO
+            });
+            images.len()
+        ];
         let mut id_to_index: Vec<(u64, usize)> = Vec::with_capacity(images.len());
         for (i, image) in images.iter().enumerate() {
             match self.submit(image) {
@@ -498,6 +516,47 @@ impl Engine {
             }
         }
         out
+    }
+
+    /// Backoff hint for shed requests: batches left to drain the queue
+    /// times the last observed (or configured) per-batch latency.
+    fn retry_after_hint(&self) -> Duration {
+        let batches_left = self.queue.len().div_ceil(self.cfg.max_batch).max(1);
+        self.drain_estimate * u32::try_from(batches_left).unwrap_or(u32::MAX)
+    }
+
+    /// Runs one externally assembled batch under an externally chosen
+    /// policy. This is the gateway's execution hook: the gateway owns
+    /// admission, queueing, and the per-tenant ladders, and uses the engine
+    /// purely as a replica executor — policy application, NaN quarantine
+    /// with exact retry, and FLOP/batch accounting all behave exactly as in
+    /// [`Engine::poll`].
+    ///
+    /// # Errors
+    /// [`RequestError::NonFiniteOutput`] when the batch stays poisoned even
+    /// on the exact retry; [`RequestError::ShapeMismatch`] if the batch
+    /// disagrees with the network (unreachable when the gateway validates
+    /// at admission).
+    pub(crate) fn run_gateway_batch(
+        &mut self,
+        batch: &Tensor4,
+        policy: StagePolicy,
+        stage: usize,
+        poison_output: bool,
+    ) -> Result<Tensor4, RequestError> {
+        self.batch_index += 1;
+        if self.applied != Some(policy) {
+            self.apply_policy(policy);
+            self.applied = Some(policy);
+        }
+        let outcome = self.run_sanitized(batch, poison_output, stage);
+        self.report.batches += 1;
+        self.report.flops_actual = self.net.flops().forward;
+        self.report.flops_exact = self.net.baseline_flops().forward;
+        if let Some(count) = self.report.requests_per_stage.get_mut(stage) {
+            *count += u64::try_from(batch.shape().0).unwrap_or(u64::MAX);
+        }
+        outcome
     }
 
     /// Applies a stage policy to every reuse layer in the network. Dense
@@ -554,6 +613,11 @@ impl Engine {
     /// The frozen network's expected per-image input shape.
     pub fn input_shape(&self) -> adr_nn::layer::Shape3 {
         self.net.input_shape()
+    }
+
+    /// The frozen network's per-image output shape.
+    pub fn output_shape(&self) -> adr_nn::layer::Shape3 {
+        self.net.output_shape()
     }
 
     fn event(&mut self, kind: ServeEventKind, detail: String) {
@@ -631,10 +695,15 @@ mod tests {
         let mut engine = manual_engine(cfg);
         assert!(engine.submit(&image(0.1)).is_ok());
         assert!(engine.submit(&image(0.2)).is_ok());
-        assert_eq!(
-            engine.submit(&image(0.3)),
-            Err(RequestError::Overloaded { depth: 2, capacity: 2 })
-        );
+        match engine.submit(&image(0.3)) {
+            Err(RequestError::Overloaded { depth: 2, capacity: 2, retry_after }) => {
+                // No batch has run yet, so the drain estimate is the
+                // configured target latency; 2 queued / max_batch 8 = one
+                // batch left to drain.
+                assert_eq!(retry_after, EngineConfig::default().target_batch_latency);
+            }
+            other => panic!("expected typed shed, got {other:?}"),
+        }
         assert_eq!(engine.report().shed_overloaded, 1);
         assert_eq!(engine.queue_depth(), 2);
     }

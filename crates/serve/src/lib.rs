@@ -33,10 +33,23 @@
 //!   FLOPs saved versus the exact path; `Engine::{ready, healthy}` are the
 //!   probe surface.
 //!
+//! Above the single engine sits the multi-tenant layer:
+//!
+//! * **Registry** — [`registry::ModelRegistry`] holds named engine
+//!   replicas loaded from `ADR1`/`ADRS` artifacts, each with a generation
+//!   counter and a zero-downtime hot-swap state machine (load-new →
+//!   warm-verify → atomic flip, typed [`error::SwapError`] rollback).
+//! * **Gateway** — [`gateway::Gateway`] fronts the registry with
+//!   per-tenant token buckets ([`error::RequestError::RateLimited`]),
+//!   fair-share queue slices, and one degradation ladder per
+//!   `(model, tenant)` lane, so one tenant's burst degrades only its own
+//!   quality while other tenants stay on the exact path.
+//!
 //! Determinism mirrors the training loop: with the [`clock::ManualClock`]
 //! and no injected faults, the same request stream against the same
 //! checkpoint produces bitwise-identical outputs and an identical report
-//! (`tests/determinism.rs` pins this).
+//! (`tests/determinism.rs` pins this); the gateway adds no nondeterminism —
+//! scheduling is round-robin over `BTreeMap`-ordered lanes.
 
 #![warn(missing_docs)]
 // Tests assert on values they just constructed; unwrap there is the idiom.
@@ -45,11 +58,20 @@
 pub mod clock;
 pub mod engine;
 pub mod error;
+pub mod gateway;
 pub mod ladder;
+pub mod registry;
 pub mod report;
+pub mod tenant;
 
 pub use clock::{ManualClock, MonotonicClock, ServeClock};
 pub use engine::{Engine, EngineConfig, InferResponse};
-pub use error::{EngineError, RequestError};
+pub use error::{EngineError, RequestError, SwapError};
+pub use gateway::{Gateway, GatewayConfig};
 pub use ladder::{DegradationLadder, LadderConfig, LadderMove, StagePolicy};
-pub use report::{EngineReport, LatencyHistogram, ServeEvent, ServeEventKind};
+pub use registry::{ArtifactKind, ModelRegistry, NetFactory};
+pub use report::{
+    EngineReport, GatewayReport, LatencyHistogram, ModelCounters, ServeEvent, ServeEventKind,
+    TenantCounters,
+};
+pub use tenant::TenantConfig;

@@ -6,6 +6,7 @@
 //! here as both a counter and an ordered [`ServeEvent`], so a fault-injected
 //! test (and an operator) can reconstruct exactly what happened and when.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -87,6 +88,15 @@ pub enum ServeEventKind {
     SlowBatchFault,
     /// An injected poison fired (fault harness).
     PoisonFault,
+    /// A request was rejected by its tenant's token bucket.
+    RateLimited,
+    /// A hot swap started loading a new artifact.
+    SwapStarted,
+    /// A hot swap verified and atomically flipped to a new generation.
+    SwapCompleted,
+    /// A hot swap failed verification and rolled back; the previous
+    /// generation kept serving throughout.
+    SwapRolledBack,
 }
 
 /// One recorded event, in batch order.
@@ -248,6 +258,191 @@ impl EngineReport {
     }
 }
 
+/// Per-tenant slice of the gateway's telemetry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Requests admitted into this tenant's lanes.
+    pub admitted: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Requests rejected for a wrong shape.
+    pub rejected_shape: u64,
+    /// Requests rejected for non-finite input values.
+    pub rejected_non_finite: u64,
+    /// Requests shed because the tenant's fair-share queue slice was full.
+    pub shed_overloaded: u64,
+    /// Requests rejected by the tenant's token bucket.
+    pub rate_limited: u64,
+    /// Requests whose response missed its deadline.
+    pub deadline_missed: u64,
+    /// Requests failed because the output stayed non-finite after retry.
+    pub failed_non_finite: u64,
+    /// Requests served per ladder stage of *this tenant's* ladder
+    /// (index = stage; length = the tenant's stage count).
+    pub requests_per_stage: Vec<u64>,
+}
+
+/// Per-model slice of the gateway's telemetry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelCounters {
+    /// Micro-batches this model's replica served.
+    pub batches: u64,
+    /// Live generation (0 until the first hot swap).
+    pub generation: u64,
+    /// Hot swaps that verified and flipped.
+    pub swaps_completed: u64,
+    /// Hot swaps that failed verification and rolled back.
+    pub swaps_rolled_back: u64,
+    /// Forward multiply–adds actually performed by the replica.
+    pub flops_actual: u64,
+    /// Forward multiply–adds the exact path would have performed.
+    pub flops_exact: u64,
+}
+
+/// Aggregated multi-tenant gateway telemetry: the gateway mirror of
+/// [`EngineReport`], with every counter attributed to the tenant or model
+/// it belongs to. `BTreeMap` keys keep iteration (and therefore exported
+/// metrics and bench documents) deterministically ordered.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GatewayReport {
+    /// Counters per tenant, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantCounters>,
+    /// Counters per model, keyed by model name.
+    pub models: BTreeMap<String, ModelCounters>,
+    /// Micro-batches served across all models.
+    pub batches: u64,
+    /// Admission-to-completion latency distribution, all tenants.
+    pub latency: LatencyHistogram,
+    /// Ordered robustness events (admission, ladder, swap, faults).
+    pub events: Vec<ServeEvent>,
+}
+
+impl GatewayReport {
+    /// Number of recorded events of `kind`.
+    pub fn events_of(&self, kind: ServeEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Gateway-wide totals as stable `(name, value)` pairs — tenant
+    /// counters summed, plus the batch count. The determinism suite and
+    /// the serve bench compare these across runs.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let mut admitted = 0;
+        let mut completed = 0;
+        let mut rejected_shape = 0;
+        let mut rejected_non_finite = 0;
+        let mut shed_overloaded = 0;
+        let mut rate_limited = 0;
+        let mut deadline_missed = 0;
+        let mut failed_non_finite = 0;
+        for c in self.tenants.values() {
+            admitted += c.admitted;
+            completed += c.completed;
+            rejected_shape += c.rejected_shape;
+            rejected_non_finite += c.rejected_non_finite;
+            shed_overloaded += c.shed_overloaded;
+            rate_limited += c.rate_limited;
+            deadline_missed += c.deadline_missed;
+            failed_non_finite += c.failed_non_finite;
+        }
+        vec![
+            ("admitted", admitted),
+            ("completed", completed),
+            ("rejected_shape", rejected_shape),
+            ("rejected_non_finite", rejected_non_finite),
+            ("shed_overloaded", shed_overloaded),
+            ("rate_limited", rate_limited),
+            ("deadline_missed", deadline_missed),
+            ("failed_non_finite", failed_non_finite),
+            ("batches", self.batches),
+        ]
+    }
+
+    /// Re-exports this report through the unified telemetry schema with
+    /// `tenant` / `model` labels. Same additive contract as
+    /// [`EngineReport::export_metrics`]: call once against a fresh sink.
+    pub fn export_metrics(&self) {
+        if !adr_obs::is_active() {
+            return;
+        }
+        for (tenant, c) in &self.tenants {
+            let labels = [("tenant", tenant.as_str())];
+            adr_obs::counter_add("adr_gateway_admitted", &labels, c.admitted);
+            adr_obs::counter_add("adr_gateway_completed", &labels, c.completed);
+            adr_obs::counter_add("adr_gateway_shed_overloaded", &labels, c.shed_overloaded);
+            adr_obs::counter_add("adr_gateway_rate_limited", &labels, c.rate_limited);
+            adr_obs::counter_add("adr_gateway_deadline_missed", &labels, c.deadline_missed);
+            adr_obs::counter_add("adr_gateway_failed_non_finite", &labels, c.failed_non_finite);
+            for (stage, &count) in c.requests_per_stage.iter().enumerate() {
+                let stage = stage.to_string();
+                adr_obs::counter_add(
+                    "adr_gateway_requests",
+                    &[("tenant", tenant), ("stage", &stage)],
+                    count,
+                );
+            }
+        }
+        for (model, m) in &self.models {
+            let labels = [("model", model.as_str())];
+            adr_obs::counter_add("adr_gateway_batches", &labels, m.batches);
+            adr_obs::counter_add("adr_gateway_swaps_completed", &labels, m.swaps_completed);
+            adr_obs::counter_add("adr_gateway_swaps_rolled_back", &labels, m.swaps_rolled_back);
+            adr_obs::counter_add("adr_gateway_flops_actual", &labels, m.flops_actual);
+            adr_obs::counter_add("adr_gateway_flops_exact", &labels, m.flops_exact);
+            adr_obs::gauge_set("adr_gateway_generation", &labels, m.generation as f64);
+        }
+        for (i, &count) in self.latency.counts().iter().enumerate() {
+            let le = match LATENCY_BUCKET_BOUNDS_MS.get(i) {
+                Some(bound) => bound.to_string(),
+                None => "+Inf".to_string(),
+            };
+            adr_obs::counter_add("adr_gateway_latency_ms_bucket", &[("le", &le)], count);
+        }
+    }
+
+    /// Multi-line human-readable summary, one line per tenant and model.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let totals = self.counters();
+        let get = |name: &str| totals.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v);
+        let _ = writeln!(
+            out,
+            "gateway report: {} admitted, {} completed over {} batches",
+            get("admitted"),
+            get("completed"),
+            self.batches
+        );
+        for (tenant, c) in &self.tenants {
+            let per_stage: Vec<String> = c
+                .requests_per_stage
+                .iter()
+                .enumerate()
+                .map(|(s, n)| format!("stage{s}:{n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  tenant {tenant}: {} admitted, {} completed, {} shed, {} rate-limited, {} \
+                 deadline-missed | {}",
+                c.admitted,
+                c.completed,
+                c.shed_overloaded,
+                c.rate_limited,
+                c.deadline_missed,
+                per_stage.join(" ")
+            );
+        }
+        for (model, m) in &self.models {
+            let _ = writeln!(
+                out,
+                "  model {model}: generation {}, {} batches, {} swaps ({} rolled back)",
+                m.generation, m.batches, m.swaps_completed, m.swaps_rolled_back
+            );
+        }
+        let _ = write!(out, "  latency: {}", self.latency.summary());
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +470,46 @@ mod tests {
         assert_eq!(report.flop_savings().to_bits(), 0.0f64.to_bits());
         let report = EngineReport { flops_actual: 25, flops_exact: 100, ..EngineReport::default() };
         assert!((report.flop_savings() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gateway_report_sums_tenant_counters_and_renders_attribution() {
+        let mut report = GatewayReport::default();
+        report.tenants.insert(
+            "alpha".into(),
+            TenantCounters {
+                admitted: 5,
+                completed: 4,
+                shed_overloaded: 1,
+                requests_per_stage: vec![4, 0],
+                ..TenantCounters::default()
+            },
+        );
+        report.tenants.insert(
+            "beta".into(),
+            TenantCounters {
+                admitted: 3,
+                completed: 3,
+                rate_limited: 2,
+                requests_per_stage: vec![1, 2],
+                ..TenantCounters::default()
+            },
+        );
+        report.models.insert(
+            "cifarnet".into(),
+            ModelCounters { batches: 4, generation: 1, swaps_completed: 1, ..Default::default() },
+        );
+        report.batches = 4;
+        let totals = report.counters();
+        let get = |name: &str| totals.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        assert_eq!(get("admitted"), Some(8));
+        assert_eq!(get("rate_limited"), Some(2));
+        assert_eq!(get("shed_overloaded"), Some(1));
+        assert_eq!(get("batches"), Some(4));
+        let s = report.summary();
+        assert!(s.contains("tenant alpha: 5 admitted"));
+        assert!(s.contains("tenant beta"), "{s}");
+        assert!(s.contains("model cifarnet: generation 1"));
     }
 
     #[test]

@@ -16,12 +16,16 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use adr_nn::checkpoint::Checkpoint;
 use adr_nn::conv::Conv2d;
 use adr_nn::dense::Dense;
 use adr_nn::network::Network;
 use adr_nn::relu::Relu;
 use adr_serve::clock::ManualClock;
 use adr_serve::engine::{Engine, EngineConfig};
+use adr_serve::gateway::{Gateway, GatewayConfig};
+use adr_serve::registry::ArtifactKind;
+use adr_serve::tenant::TenantConfig;
 use adr_tensor::im2col::ConvGeom;
 use adr_tensor::par::set_thread_override;
 use adr_tensor::rng::AdrRng;
@@ -124,4 +128,53 @@ fn steady_state_request_allocations_match_the_budget() {
         );
     }
     assert_eq!(engine.report().completed, 8, "all rounds served");
+}
+
+#[test]
+fn steady_state_gateway_request_allocations_match_the_budget() {
+    set_thread_override(Some(1));
+    // The registry loads artifacts from disk, so the tiny net makes a
+    // round trip through a real checkpoint file first.
+    let mut net = tiny_net(9);
+    let artifact = std::env::temp_dir().join(format!("adr-gw-alloc-{}.adr1", std::process::id()));
+    Checkpoint::capture(&mut net).save(&artifact).expect("artifact saves");
+
+    let cfg = GatewayConfig { max_batch: 1, ..GatewayConfig::default() };
+    let mut gateway = Gateway::with_clock(cfg, Box::new(ManualClock::new())).expect("valid config");
+    gateway
+        .register_model("m", ArtifactKind::Adr1, &artifact, Box::new(|| tiny_net(9)))
+        .expect("model registers");
+    // Virtual time never advances, so the bucket never refills: give it
+    // headroom for every round of the test.
+    gateway
+        .add_tenant("t", TenantConfig { burst: 64, ..TenantConfig::default() })
+        .expect("tenant adds");
+    std::fs::remove_file(&artifact).expect("artifact removes");
+    let image = Tensor4::from_fn(1, 6, 6, 1, |_, y, x, _| (y * 6 + x) as f32 * 0.01);
+
+    let request_round = |gateway: &mut Gateway| {
+        gateway.submit("m", "t", &image).expect("healthy request admits");
+        let results = gateway.poll();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok(), "healthy request serves");
+    };
+    for _ in 0..3 {
+        request_round(&mut gateway); // warmup: queue/report capacity, lazy init
+    }
+    assert_eq!(gateway.stage("m", "t"), Some(0), "healthy traffic stays on the exact path");
+
+    let expected = runtime_budget("gateway_request");
+    for step in 0..5 {
+        let before = allocs();
+        request_round(&mut gateway);
+        let after = allocs();
+        assert_eq!(
+            after - before,
+            expected,
+            "gateway request {step}: allocation count drifted from \
+             adr-check.budget `gateway_request`"
+        );
+    }
+    let completed = gateway.report().tenants["t"].completed;
+    assert_eq!(completed, 8, "all rounds served");
 }

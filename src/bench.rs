@@ -180,20 +180,62 @@ pub fn run_train_bench(cfg: &BenchConfig) -> Json {
     ])
 }
 
-/// Runs the serving burst and assembles the `BENCH_serve.json` document:
-/// the full `EngineReport` counter set, per-stage attribution, latency
-/// buckets, and actual-vs-exact FLOPs. The report is also re-exported
-/// through the telemetry schema so the recorder path stays covered.
+/// Runs the multi-tenant serving burst and assembles the
+/// `BENCH_serve.json` document (`adr-bench-serve/v2`): gateway-wide
+/// totals, per-tenant counters with stage attribution, per-model
+/// generation and swap accounting, latency buckets, and actual-vs-exact
+/// FLOPs. The report is also re-exported through the telemetry schema so
+/// the recorder path stays covered.
+///
+/// The workload exercises every admission outcome deterministically: a
+/// `steady` tenant with headroom completes all its requests on the exact
+/// path, a `burst` tenant with a tiny token bucket has the tail of its
+/// burst rate-limited, and one mid-burst hot swap (to the same artifact)
+/// bumps the model generation without dropping anything in flight.
 pub fn run_serve_bench(cfg: &BenchConfig) -> Result<Json, String> {
     let mut rng = AdrRng::seeded(cfg.seed);
-    let net = cifarnet::bench_scale(cfg.classes, ConvMode::reuse_default(), &mut rng);
-    let engine_cfg = EngineConfig {
+    let mut net = cifarnet::bench_scale(cfg.classes, ConvMode::reuse_default(), &mut rng);
+
+    // The registry loads artifacts from disk, so the seeded weights make a
+    // round trip through a real checkpoint file.
+    let artifact =
+        std::env::temp_dir().join(format!("adr-bench-serve-{}.adr1", std::process::id()));
+    Checkpoint::capture(&mut net)
+        .save(&artifact)
+        .map_err(|e| format!("writing bench artifact: {e}"))?;
+    let cleanup = |r: Result<Json, String>| {
+        let _ = std::fs::remove_file(&artifact);
+        r
+    };
+
+    let gateway_cfg = GatewayConfig {
         queue_capacity: cfg.requests.max(4),
         max_batch: 4,
-        ..EngineConfig::default()
+        ..GatewayConfig::default()
     };
-    let mut engine = Engine::with_clock(net, engine_cfg, Box::new(ManualClock::new()))
-        .map_err(|e| format!("engine construction failed: {e}"))?;
+    let mut gateway = match Gateway::with_clock(gateway_cfg, Box::new(ManualClock::new())) {
+        Ok(gw) => gw,
+        Err(e) => return cleanup(Err(format!("gateway construction failed: {e}"))),
+    };
+    let (classes, seed) = (cfg.classes, cfg.seed);
+    let factory: NetFactory = Box::new(move || {
+        let mut rng = AdrRng::seeded(seed);
+        cifarnet::bench_scale(classes, ConvMode::reuse_default(), &mut rng)
+    });
+    if let Err(e) = gateway.register_model("cifarnet", ArtifactKind::Adr1, &artifact, factory) {
+        return cleanup(Err(format!("registering bench model: {e}")));
+    }
+    // `steady` has headroom for the whole burst; `burst` holds two tokens
+    // and refills at 1/s of virtual time — which never advances under the
+    // manual clock, so the tail of its burst is rate-limited.
+    let steady = TenantConfig { rate_per_sec: 1_000, burst: 64, ..TenantConfig::default() };
+    let bursty = TenantConfig { rate_per_sec: 1, burst: 2, ..TenantConfig::default() };
+    if let Err(e) = gateway.add_tenant("steady", steady) {
+        return cleanup(Err(format!("adding steady tenant: {e}")));
+    }
+    if let Err(e) = gateway.add_tenant("burst", bursty) {
+        return cleanup(Err(format!("adding burst tenant: {e}")));
+    }
 
     let mut data_rng = rng.split(2);
     let mut images = Vec::with_capacity(cfg.requests);
@@ -201,21 +243,36 @@ pub fn run_serve_bench(cfg: &BenchConfig) -> Result<Json, String> {
         let mut pixels = vec![0.0f32; 16 * 16 * 3];
         data_rng.fill_gauss(&mut pixels);
         let image = Tensor4::from_vec(1, 16, 16, 3, pixels)
-            .ok_or_else(|| "bench image shape is inconsistent".to_string())?;
-        images.push(image);
+            .ok_or_else(|| "bench image shape is inconsistent".to_string());
+        match image {
+            Ok(img) => images.push(img),
+            Err(e) => return cleanup(Err(e)),
+        }
     }
 
     let start = Instant::now();
-    let outcomes = engine.serve_all(&images);
+    for (i, image) in images.iter().enumerate() {
+        let tenant = if i % 2 == 0 { "steady" } else { "burst" };
+        // Rejections (the burst tenant's rate-limited tail) are part of
+        // the workload, not errors.
+        let _ = gateway.submit("cifarnet", tenant, image);
+    }
+    // Zero-downtime swap with the whole burst still queued: the baseline
+    // pins generation 1 with nothing dropped.
+    if let Err(e) = gateway.swap("cifarnet", &artifact) {
+        return cleanup(Err(format!("bench hot swap failed: {e}")));
+    }
+    let outcomes = gateway.drain();
     let wall_ns = elapsed_ns(start);
-    let completed = outcomes.into_iter().flatten().count();
-    let report = engine.into_report();
+    let _ = std::fs::remove_file(&artifact);
+    let completed = outcomes.iter().filter(|(_, r)| r.is_ok()).count();
+    let report = gateway.into_report();
     if completed == 0 {
         return Err("serving burst completed no requests".to_string());
     }
 
     // Round-trip the report through the unified schema: what an operator's
-    // scrape of a live engine would see.
+    // scrape of a live gateway would see.
     let recorder = Recorder::new();
     {
         let _guard = adr_obs::install(Rc::new(recorder.clone()));
@@ -224,6 +281,56 @@ pub fn run_serve_bench(cfg: &BenchConfig) -> Result<Json, String> {
 
     let counters =
         obj(report.counters().into_iter().map(|(name, v)| (name, Json::Uint(v))).collect());
+    let tenants = Json::Obj(
+        report
+            .tenants
+            .iter()
+            .map(|(name, c)| {
+                (
+                    name.clone(),
+                    obj(vec![
+                        ("admitted", Json::Uint(c.admitted)),
+                        ("completed", Json::Uint(c.completed)),
+                        ("rejected_shape", Json::Uint(c.rejected_shape)),
+                        ("rejected_non_finite", Json::Uint(c.rejected_non_finite)),
+                        ("shed_overloaded", Json::Uint(c.shed_overloaded)),
+                        ("rate_limited", Json::Uint(c.rate_limited)),
+                        ("deadline_missed", Json::Uint(c.deadline_missed)),
+                        ("failed_non_finite", Json::Uint(c.failed_non_finite)),
+                        (
+                            "requests_per_stage",
+                            Json::Arr(
+                                c.requests_per_stage.iter().map(|&n| Json::Uint(n)).collect(),
+                            ),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let models = Json::Obj(
+        report
+            .models
+            .iter()
+            .map(|(name, m)| {
+                (
+                    name.clone(),
+                    obj(vec![
+                        ("batches", Json::Uint(m.batches)),
+                        ("generation", Json::Uint(m.generation)),
+                        ("swaps_completed", Json::Uint(m.swaps_completed)),
+                        ("swaps_rolled_back", Json::Uint(m.swaps_rolled_back)),
+                        ("flops_actual", Json::Uint(m.flops_actual)),
+                        ("flops_exact", Json::Uint(m.flops_exact)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let flops_actual: u64 = report.models.values().map(|m| m.flops_actual).sum();
+    let flops_exact: u64 = report.models.values().map(|m| m.flops_exact).sum();
+    let flop_savings =
+        if flops_exact == 0 { 0.0 } else { 1.0 - flops_actual as f64 / flops_exact as f64 };
     Ok(obj(vec![
         ("schema", Json::Str(adr_obs::bench::SERVE_SCHEMA.to_string())),
         (
@@ -233,22 +340,21 @@ pub fn run_serve_bench(cfg: &BenchConfig) -> Result<Json, String> {
                 ("classes", Json::Uint(u64_of(cfg.classes))),
                 ("requests", Json::Uint(u64_of(cfg.requests))),
                 ("max_batch", Json::Uint(4)),
+                ("tenants", Json::Uint(2)),
                 ("seed", Json::Uint(cfg.seed)),
                 ("quick", Json::Bool(cfg.quick)),
             ]),
         ),
         ("counters", counters),
-        (
-            "requests_per_stage",
-            Json::Arr(report.requests_per_stage.iter().map(|&n| Json::Uint(n)).collect()),
-        ),
+        ("tenants", tenants),
+        ("models", models),
         (
             "latency_bucket_counts",
             Json::Arr(report.latency.counts().iter().map(|&n| Json::Uint(n)).collect()),
         ),
-        ("flops_actual", Json::Uint(report.flops_actual)),
-        ("flops_exact", Json::Uint(report.flops_exact)),
-        ("flop_savings", Json::Num(report.flop_savings())),
+        ("flops_actual", Json::Uint(flops_actual)),
+        ("flops_exact", Json::Uint(flops_exact)),
+        ("flop_savings", Json::Num(flop_savings)),
         ("wall_ns", Json::Uint(wall_ns)),
         ("scrape_counters", Json::Uint(u64_of(recorder.counters().len()))),
     ]))
@@ -380,33 +486,69 @@ pub fn compare_train(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
     out
 }
 
+/// Compares two same-named counter objects exactly, prefixing violations
+/// with `label` (e.g. `BENCH_serve/tenants.steady`).
+fn compare_counter_obj(base: &Json, fresh: Option<&Json>, label: &str, out: &mut Vec<String>) {
+    let Some(bc) = base.as_obj() else {
+        out.push(format!("{label}: not an object in the baseline"));
+        return;
+    };
+    let Some(fresh) = fresh else {
+        out.push(format!("{label}: missing from the fresh document"));
+        return;
+    };
+    for (key, bv) in bc {
+        // Per-stage attribution arrays and scalar counters both compare
+        // exactly — the burst is seeded, so any drift is a regression.
+        let fv = fresh.get(key);
+        if fv != Some(bv) {
+            out.push(format!(
+                "{label}: `{key}` changed (baseline {}, fresh {})",
+                bv.render_pretty().replace('\n', " "),
+                fv.map_or("<missing>".to_string(), |v| v.render_pretty().replace('\n', " "))
+            ));
+        }
+    }
+}
+
 /// Compares a fresh `BENCH_serve.json` against a committed baseline:
-/// the full counter set and the per-stage request attribution are
+/// the gateway-wide counter set, every tenant's counters and per-stage
+/// attribution, and every model's generation/swap accounting are
 /// deterministic under the seeded burst and must match exactly; the
 /// FLOP totals get the same `tol` relative bound as the training gate.
 pub fn compare_serve(base: &Json, fresh: &Json, tol: f64) -> Vec<String> {
     let mut out = Vec::new();
     check_workload(base, fresh, &mut out, "BENCH_serve");
-    match (
-        base.get("counters").and_then(Json::as_obj),
-        fresh.get("counters").and_then(Json::as_obj),
-    ) {
-        (Some(bc), Some(_)) => {
-            for (key, bv) in bc {
-                let fv = fresh.get("counters").and_then(|c| c.get(key));
-                if fv.map(|v| v.as_u64()) != Some(bv.as_u64()) {
-                    out.push(format!(
-                        "BENCH_serve: counter `{key}` changed (baseline {}, fresh {})",
-                        bv.as_u64().unwrap_or(0),
-                        fv.and_then(Json::as_u64).unwrap_or(0)
-                    ));
-                }
-            }
+    match base.get("counters") {
+        Some(bc) => {
+            compare_counter_obj(bc, fresh.get("counters"), "BENCH_serve/counters", &mut out)
         }
-        _ => out.push("BENCH_serve: counters section missing".to_string()),
+        None => out.push("BENCH_serve: counters section missing".to_string()),
     }
-    if base.get("requests_per_stage") != fresh.get("requests_per_stage") {
-        out.push("BENCH_serve: requests_per_stage attribution changed".to_string());
+    for section in ["tenants", "models"] {
+        let (Some(bs), fs) = (base.get(section), fresh.get(section)) else {
+            out.push(format!("BENCH_serve: {section} section missing"));
+            continue;
+        };
+        let Some(base_entries) = bs.as_obj() else {
+            out.push(format!("BENCH_serve: {section} is not an object"));
+            continue;
+        };
+        for (name, bv) in base_entries {
+            compare_counter_obj(
+                bv,
+                fs.and_then(|f| f.get(name)),
+                &format!("BENCH_serve/{section}.{name}"),
+                &mut out,
+            );
+        }
+        let fresh_len = fs.and_then(Json::as_obj).map_or(0, <[_]>::len);
+        if fresh_len != base_entries.len() {
+            out.push(format!(
+                "BENCH_serve: {section} entry count changed ({} -> {fresh_len})",
+                base_entries.len()
+            ));
+        }
     }
     for field in ["flops_actual", "flops_exact"] {
         let (Some(bv), Some(fv)) = (field_f64(base, &[field]), field_f64(fresh, &[field])) else {
@@ -445,8 +587,19 @@ mod tests {
     fn serve_bench_emits_a_schema_valid_document() {
         let doc = run_serve_bench(&BenchConfig::quick()).unwrap();
         adr_obs::bench::validate(&doc).unwrap();
-        let admitted = doc.get("counters").unwrap().get("admitted").and_then(Json::as_u64);
-        assert_eq!(admitted, Some(8));
+        // 8 requests split across two tenants: steady's 4 all admitted,
+        // burst's 4 hit a 2-token bucket — 2 admitted, 2 rate-limited.
+        let counter = |key: &str| doc.get("counters").unwrap().get(key).and_then(Json::as_u64);
+        assert_eq!(counter("admitted"), Some(6));
+        assert_eq!(counter("rate_limited"), Some(2));
+        let burst = doc.get("tenants").unwrap().get("burst").unwrap();
+        assert_eq!(burst.get("rate_limited").and_then(Json::as_u64), Some(2));
+        // The mid-burst hot swap flipped the generation without dropping
+        // anything in flight.
+        let model = doc.get("models").unwrap().get("cifarnet").unwrap();
+        assert_eq!(model.get("generation").and_then(Json::as_u64), Some(1));
+        assert_eq!(model.get("swaps_completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(counter("completed"), Some(6));
     }
 
     fn train_doc(hash_ns: u64, flops_actual: u64) -> Json {
@@ -515,7 +668,50 @@ mod tests {
         counters.iter_mut().find(|(k, _)| k == "deadline_missed").unwrap().1 = Json::Uint(3);
         let violations = compare_serve(&base, &fresh, 0.15);
         assert!(
-            violations.iter().any(|v| v.contains("counter `deadline_missed` changed")),
+            violations.iter().any(|v| v.contains("`deadline_missed` changed")),
+            "{violations:#?}"
+        );
+    }
+
+    #[test]
+    fn serve_tenant_and_model_drift_are_exact_failures() {
+        let base = run_serve_bench(&BenchConfig::quick()).unwrap();
+        // A tenant's stage attribution shifting is a violation even when
+        // the gateway-wide totals happen to stay put.
+        let mut fresh = run_serve_bench(&BenchConfig::quick()).unwrap();
+        let Json::Obj(top) = &mut fresh else { panic!() };
+        let Json::Obj(tenants) = &mut top.iter_mut().find(|(k, _)| k == "tenants").unwrap().1
+        else {
+            panic!()
+        };
+        let Json::Obj(steady) = &mut tenants.iter_mut().find(|(k, _)| k == "steady").unwrap().1
+        else {
+            panic!()
+        };
+        steady.iter_mut().find(|(k, _)| k == "requests_per_stage").unwrap().1 =
+            Json::Arr(vec![Json::Uint(0), Json::Uint(4)]);
+        let violations = compare_serve(&base, &fresh, 0.15);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("tenants.steady") && v.contains("requests_per_stage")),
+            "{violations:#?}"
+        );
+
+        // A silent extra swap shows up through the model section.
+        let mut fresh = run_serve_bench(&BenchConfig::quick()).unwrap();
+        let Json::Obj(top) = &mut fresh else { panic!() };
+        let Json::Obj(models) = &mut top.iter_mut().find(|(k, _)| k == "models").unwrap().1 else {
+            panic!()
+        };
+        let Json::Obj(model) = &mut models.iter_mut().find(|(k, _)| k == "cifarnet").unwrap().1
+        else {
+            panic!()
+        };
+        model.iter_mut().find(|(k, _)| k == "generation").unwrap().1 = Json::Uint(2);
+        let violations = compare_serve(&base, &fresh, 0.15);
+        assert!(
+            violations.iter().any(|v| v.contains("models.cifarnet") && v.contains("generation")),
             "{violations:#?}"
         );
     }

@@ -18,6 +18,13 @@
 //!   `readyz`, `quit`); `--demo N` runs a reproducible burst of N synthetic
 //!   requests instead, `--listen HOST:PORT` speaks the same protocol over
 //!   TCP, one connection at a time.
+//! * `adr serve --registry name=path[,name=path...] [--tenants t=rate:burst[,...]]
+//!   [--swap model=path]` — serve a *registry* of named artifacts through
+//!   the multi-tenant gateway instead of one engine. The line protocol
+//!   grows model/tenant addressing (`predict <model> <tenant> <csv>`,
+//!   `random <model> <tenant>`) plus `swap <model> <path>` for
+//!   zero-downtime hot swaps; rejections carry typed backoff hints
+//!   (`retry after N ms`). `--swap` performs one swap at startup.
 //! * `adr bench [--quick] [--json] [--seed N] [--steps N] [--batch N]
 //!   [--requests N] [--out-dir DIR]` — run the seeded step-profile and
 //!   serving workloads and atomically emit schema-validated
@@ -281,7 +288,255 @@ fn serve_line(engine: &mut Engine, rng: &mut AdrRng, line: &str) -> Option<Strin
     }
 }
 
+/// Formats one gateway inference outcome for the line protocol. Typed
+/// rejections render through their `Display` impls, which carry the
+/// backoff hints (`retry after N ms` for rate-limited and overloaded).
+fn gateway_answer(outcome: Result<InferResponse, RequestError>) -> String {
+    match outcome {
+        Ok(resp) => format!(
+            "class {} (stage {}, {} ms) logits {:?}",
+            resp.class,
+            resp.stage,
+            resp.latency.as_millis(),
+            resp.logits
+        ),
+        Err(e) => format!("rejected: {e}"),
+    }
+}
+
+/// One line of the multi-tenant serving protocol against a live gateway.
+/// Returns the response text, or `None` when the client asked to quit.
+fn gateway_line(gw: &mut Gateway, rng: &mut AdrRng, line: &str) -> Option<String> {
+    let line = line.trim();
+    let submit_and_serve = |gw: &mut Gateway, model: &str, tenant: &str, image: &Tensor4| {
+        match gw.submit(model, tenant, image) {
+            // Each protocol line serves its own request, so the drain holds
+            // exactly the one just admitted.
+            Ok(id) => gw
+                .drain()
+                .into_iter()
+                .find(|(rid, _)| *rid == id)
+                .map_or_else(|| "rejected: no response".to_string(), |(_, r)| gateway_answer(r)),
+            Err(e) => format!("rejected: {e}"),
+        }
+    };
+    if let Some(rest) = line.strip_prefix("predict ") {
+        let mut parts = rest.splitn(3, ' ');
+        let (Some(model), Some(tenant), Some(csv)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Some("rejected: usage is predict <model> <tenant> <csv>".to_string());
+        };
+        let Some((h, w, c)) = gw.input_shape(model) else {
+            return Some(format!("rejected: unknown model '{model}': not in the registry"));
+        };
+        let values: Result<Vec<f32>, _> = csv.split(',').map(|v| v.trim().parse()).collect();
+        let values = match values {
+            Ok(v) => v,
+            Err(e) => return Some(format!("rejected: bad float in request: {e}")),
+        };
+        let Some(image) = Tensor4::from_vec(1, h, w, c, values) else {
+            return Some(format!("rejected: expected {} values for {h}x{w}x{c}", h * w * c));
+        };
+        return Some(submit_and_serve(gw, model, tenant, &image));
+    }
+    if let Some(rest) = line.strip_prefix("random ") {
+        let mut parts = rest.splitn(2, ' ');
+        let (Some(model), Some(tenant)) = (parts.next(), parts.next()) else {
+            return Some("rejected: usage is random <model> <tenant>".to_string());
+        };
+        let Some((h, w, c)) = gw.input_shape(model) else {
+            return Some(format!("rejected: unknown model '{model}': not in the registry"));
+        };
+        let image = Tensor4::from_fn(1, h, w, c, |_, _, _, _| rng.uniform());
+        return Some(submit_and_serve(gw, model, tenant, &image));
+    }
+    if let Some(rest) = line.strip_prefix("swap ") {
+        let mut parts = rest.splitn(2, ' ');
+        let (Some(model), Some(path)) = (parts.next(), parts.next()) else {
+            return Some("rejected: usage is swap <model> <path>".to_string());
+        };
+        return Some(match gw.swap(model, path) {
+            Ok(generation) => format!("swapped '{model}' to generation {generation}"),
+            Err(e) => format!("rejected: {e}"),
+        });
+    }
+    match line {
+        "report" => Some(gw.report().summary()),
+        "healthz" => Some(if gw.healthy() { "ok".into() } else { "unhealthy".into() }),
+        "readyz" => Some(if gw.ready() { "ready".into() } else { "not ready".into() }),
+        "quit" => None,
+        "" => Some(String::new()),
+        other => Some(format!(
+            "unknown command '{other}' (predict <model> <tenant> <csv> | random <model> <tenant> \
+             | swap <model> <path> | report | healthz | readyz | quit)"
+        )),
+    }
+}
+
+/// Parses `--registry "name=path[,name=path...]"`. The artifact kind is
+/// inferred from the path: `.adrs` loads the model half of a train-state
+/// snapshot, anything else parses as an `ADR1` checkpoint.
+fn parse_registry(spec: &str) -> Result<Vec<(String, String, ArtifactKind)>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let (name, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--registry entry '{entry}' is not name=path"))?;
+        if name.is_empty() || path.is_empty() {
+            return Err(format!("--registry entry '{entry}' has an empty name or path"));
+        }
+        let kind = if path.ends_with(".adrs") { ArtifactKind::Adrs } else { ArtifactKind::Adr1 };
+        out.push((name.to_string(), path.to_string(), kind));
+    }
+    Ok(out)
+}
+
+/// Parses `--tenants "name=rate:burst[,name=rate:burst...]"`.
+fn parse_tenants(
+    spec: &str,
+    default_deadline: Duration,
+) -> Result<Vec<(String, TenantConfig)>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',') {
+        let (name, policy) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("--tenants entry '{entry}' is not name=rate:burst"))?;
+        let (rate, burst) = policy
+            .split_once(':')
+            .ok_or_else(|| format!("--tenants entry '{entry}' is not name=rate:burst"))?;
+        let rate_per_sec: u64 = rate
+            .parse()
+            .map_err(|_| format!("--tenants entry '{entry}': cannot parse rate '{rate}'"))?;
+        let burst: u64 = burst
+            .parse()
+            .map_err(|_| format!("--tenants entry '{entry}': cannot parse burst '{burst}'"))?;
+        out.push((
+            name.to_string(),
+            TenantConfig { rate_per_sec, burst, default_deadline, ..TenantConfig::default() },
+        ));
+    }
+    Ok(out)
+}
+
+/// The multi-tenant serving mode: `adr serve --registry ... [--tenants ...]`.
+fn cmd_serve_gateway(args: &Args, spec: &str) -> Result<(), String> {
+    let model = args.get_str("model", "cifarnet");
+    let classes: usize = args.get("classes", 4)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let queue: usize = args.get("queue", 32)?;
+    let max_batch: usize = args.get("max-batch", 8)?;
+    let deadline_ms: u64 = args.get("deadline-ms", 250)?;
+    let demo: usize = args.get("demo", 0)?;
+
+    // Validate the architecture name once, up front; per-entry factories
+    // can then rebuild it infallibly on every registration and hot swap.
+    let mut rng = AdrRng::seeded(seed);
+    build_model(&model, classes, ConvMode::reuse_default(), &mut rng)?;
+
+    let cfg = GatewayConfig { queue_capacity: queue, max_batch, ..GatewayConfig::default() };
+    // Demo bursts run on the virtual clock so the printed report is
+    // reproducible for a given seed.
+    let mut gateway = if demo > 0 {
+        Gateway::with_clock(cfg, Box::new(ManualClock::new()))
+    } else {
+        Gateway::new(cfg)
+    }
+    .map_err(|e| format!("building gateway: {e}"))?;
+
+    for (name, path, kind) in parse_registry(spec)? {
+        let arch = model.clone();
+        let factory: NetFactory = Box::new(move || {
+            let mut rng = AdrRng::seeded(seed);
+            let (net, _, _) = build_model(&arch, classes, ConvMode::reuse_default(), &mut rng)
+                .expect("architecture name validated at startup");
+            net
+        });
+        gateway
+            .register_model(&name, kind, &path, factory)
+            .map_err(|e| format!("registering '{name}' from {path}: {e}"))?;
+    }
+    let default_deadline = Duration::from_millis(deadline_ms);
+    for (name, tenant_cfg) in
+        parse_tenants(&args.get_str("tenants", "default=100:8"), default_deadline)?
+    {
+        gateway
+            .add_tenant(&name, tenant_cfg)
+            .map_err(|e| format!("adding tenant '{name}': {e}"))?;
+    }
+    if let Some(swap) = args.options.get("swap") {
+        let (swap_model, path) =
+            swap.split_once('=').ok_or_else(|| format!("--swap '{swap}' is not model=path"))?;
+        let generation =
+            gateway.swap(swap_model, path).map_err(|e| format!("swapping '{swap_model}': {e}"))?;
+        println!("swapped '{swap_model}' to generation {generation}");
+    }
+
+    let models = gateway.models().join(", ");
+    let tenants = gateway.tenant_names().join(", ");
+    if demo > 0 {
+        let mut request_rng = rng.split(1);
+        let model_names: Vec<String> = gateway.models().iter().map(ToString::to_string).collect();
+        let tenant_names: Vec<String> =
+            gateway.tenant_names().iter().map(ToString::to_string).collect();
+        for i in 0..demo {
+            let model = &model_names[i % model_names.len()];
+            let tenant = &tenant_names[i % tenant_names.len()];
+            let Some((h, w, c)) = gateway.input_shape(model) else { continue };
+            let image = Tensor4::from_fn(1, h, w, c, |_, _, _, _| request_rng.uniform());
+            let _ = gateway.submit(model, tenant, &image);
+        }
+        let served = gateway.drain().iter().filter(|(_, r)| r.is_ok()).count();
+        println!("demo burst: {served}/{demo} served");
+        println!("{}", gateway.report().summary());
+        return Ok(());
+    }
+
+    if let Some(addr) = args.options.get("listen") {
+        let listener =
+            std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        println!("gateway serving [{models}] for tenants [{tenants}] on {addr}");
+        for stream in listener.incoming() {
+            let stream = stream.map_err(|e| format!("accepting connection: {e}"))?;
+            let mut writer = stream.try_clone().map_err(|e| format!("cloning connection: {e}"))?;
+            let reader = std::io::BufReader::new(stream);
+            for line in reader.lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(_) => break,
+                };
+                match gateway_line(&mut gateway, &mut rng, &line) {
+                    Some(reply) => {
+                        if writeln!(writer, "{reply}").is_err() {
+                            break;
+                        }
+                    }
+                    None => return Ok(()),
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    println!(
+        "gateway serving [{models}] for tenants [{tenants}] on stdin (predict <model> <tenant> \
+         <csv> | random <model> <tenant> | swap <model> <path> | report | healthz | readyz | quit)"
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        match gateway_line(&mut gateway, &mut rng, &line) {
+            Some(reply) => println!("{reply}"),
+            None => break,
+        }
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if let Some(spec) = args.options.get("registry") {
+        let spec = spec.clone();
+        return cmd_serve_gateway(args, &spec);
+    }
     let path = args.options.get("checkpoint").ok_or("serve requires --checkpoint PATH")?;
     let model = args.get_str("model", "cifarnet");
     let classes: usize = args.get("classes", 4)?;
@@ -478,6 +733,10 @@ const USAGE: &str = "usage: adr <train|eval|similarity|serve|bench> [options]
   adr eval       --checkpoint PATH [--model M] [--classes N] [--seed N]
   adr similarity [--hashes H] [--sub-vector L] [--seed N]
   adr serve      --checkpoint PATH [--model M] [--classes N] [--seed N]
+                 [--queue N] [--max-batch N] [--deadline-ms N]
+                 [--demo N] [--listen HOST:PORT]
+  adr serve      --registry NAME=PATH[,NAME=PATH...] [--tenants T=RATE:BURST[,...]]
+                 [--swap MODEL=PATH] [--model M] [--classes N] [--seed N]
                  [--queue N] [--max-batch N] [--deadline-ms N]
                  [--demo N] [--listen HOST:PORT]
   adr bench      [--quick] [--json] [--seed N] [--steps N] [--batch N]

@@ -87,8 +87,11 @@ fn overload_walks_the_ladder_and_sheds_with_typed_backpressure() {
     for i in 8..11 {
         let err = engine.submit(&single_image(&dataset, i)).unwrap_err();
         assert!(
-            matches!(err, RequestError::Overloaded { depth: 8, capacity: 8 }),
-            "expected typed backpressure, got {err:?}"
+            matches!(
+                err,
+                RequestError::Overloaded { depth: 8, capacity: 8, retry_after } if retry_after > Duration::ZERO
+            ),
+            "expected typed backpressure with a backoff hint, got {err:?}"
         );
     }
 
@@ -407,4 +410,64 @@ fn most_aggressive_stage_loses_at_most_the_documented_accuracy_delta() {
         "aggressive stage lost too much: exact {exact}, aggressive {aggressive}"
     );
     std::fs::remove_file(&path).ok();
+}
+
+/// `min_dwell` edge: smoothed pressure sitting *exactly* on either
+/// threshold never moves the ladder — both comparisons are strict, so an
+/// oscillation pinned to the boundary values is stable, not a flap.
+#[test]
+fn pressure_exactly_at_the_thresholds_never_moves_the_ladder() {
+    use adaptive_deep_reuse::serve::{DegradationLadder, LadderMove};
+    // alpha 1.0 makes the EMA track the latest observation; thresholds and
+    // observations are all exactly representable (0.5, 1.0, 2.0), so the
+    // incremental EMA update `mean += alpha * (x - mean)` stays bitwise
+    // exact and the test controls the smoothed pressure precisely.
+    let cfg =
+        LadderConfig { alpha: 1.0, min_dwell: 1, recover_below: 0.5, ..LadderConfig::default() };
+    assert_eq!(cfg.degrade_above, 1.0);
+    let mut ladder = DegradationLadder::new(cfg.clone()).unwrap();
+    for _ in 0..4 {
+        assert_eq!(ladder.observe(1.0, 0.0), None, "pressure == degrade_above holds");
+    }
+    assert_eq!(ladder.stage(), 0);
+
+    // From a degraded stage, pressure exactly at recover_below also holds.
+    let mut ladder = DegradationLadder::new(cfg).unwrap();
+    assert_eq!(ladder.observe(2.0, 0.0), Some(LadderMove::Degraded { from: 0, to: 1 }));
+    for _ in 0..4 {
+        assert_eq!(ladder.observe(0.5, 0.0), None, "pressure == recover_below holds");
+    }
+    // Oscillating exactly between the two boundary values: still no move.
+    for _ in 0..4 {
+        assert_eq!(ladder.observe(1.0, 0.0), None);
+        assert_eq!(ladder.observe(0.5, 0.0), None);
+    }
+    assert_eq!(ladder.stage(), 1);
+}
+
+/// `min_dwell` edge: when the dwell expires on the same tick the pressure
+/// flips, the decision uses the *new* pressure — a spike observed during
+/// the dwell window does not fire a deferred move, and a flip landing on
+/// the expiry tick moves immediately.
+#[test]
+fn dwell_expiring_on_the_same_tick_as_a_pressure_flip_uses_the_new_pressure() {
+    use adaptive_deep_reuse::serve::{DegradationLadder, LadderMove};
+    let cfg = LadderConfig { alpha: 1.0, min_dwell: 2, ..LadderConfig::default() };
+    let mut ladder = DegradationLadder::new(cfg).unwrap();
+
+    // Tick 1: hot, but still inside the dwell window — no move.
+    assert_eq!(ladder.observe(5.0, 0.0), None);
+    // Tick 2: the dwell expires on the very tick the pressure flips calm.
+    // The tick-1 spike must not fire retroactively.
+    assert_eq!(ladder.observe(0.0, 0.0), None, "no deferred degrade from the spiked tick");
+    assert_eq!(ladder.stage(), 0);
+
+    // Walk to stage 1 (dwell already satisfied, pressure high again).
+    assert_eq!(ladder.observe(5.0, 0.0), Some(LadderMove::Degraded { from: 0, to: 1 }));
+    // Tick inside the fresh dwell window: high pressure, no move.
+    assert_eq!(ladder.observe(5.0, 0.0), None);
+    // Dwell expires exactly as the pressure flips below recover_below:
+    // the recovery fires on this same tick, not one tick later.
+    assert_eq!(ladder.observe(0.2, 0.0), Some(LadderMove::Recovered { from: 1, to: 0 }));
+    assert_eq!(ladder.stage(), 0);
 }
