@@ -13,8 +13,10 @@
 //!    `zeros` in the workspace.
 //! 2. The reachable set is marked from the declared [`HOT_ROOTS`] — the
 //!    five reuse phases (im2col, hash, cluster, centroid-GEMM, scatter,
-//!    covered by `im2col`, `hash_all`, `matmul`, and `reuse_forward`) plus
-//!    the serve engine's batch loop (`Engine::poll`).
+//!    covered by `im2col`, `hash_all`, `matmul`, and `reuse_forward`), the
+//!    persistent worker pool's dispatch loop (`scope_run`, which every
+//!    fan-out funnels through), and the serving batch loops
+//!    (`Engine::poll`, `Gateway::poll`).
 //! 3. Three lints run over that set:
 //!    * `adr::hot_alloc` — heap-allocation sites (`Vec::with_capacity`,
 //!      `push`, `collect`, `to_vec`, `clone`, `vec!`, `format!`, ...) are
@@ -63,6 +65,9 @@ pub const HOT_ROOTS: &[(&str, &str, &str)] = &[
     ("crates/reuse/src/hashpack.rs", "hash_all", "hash"),
     ("crates/tensor/src/matrix.rs", "matmul", "gemm"),
     ("crates/reuse/src/forward.rs", "reuse_forward", "reuse_forward"),
+    // The persistent worker pool executes every fan-out's closures; its
+    // dispatch loop is as hot as the kernels it runs.
+    ("crates/tensor/src/kernels/pool.rs", "scope_run", "pool"),
     ("crates/serve/src/engine.rs", "poll", "serve"),
     ("crates/serve/src/gateway.rs", "poll", "gateway"),
 ];

@@ -20,11 +20,45 @@ use adr_clustering::assign::ClusterTable;
 use adr_clustering::lsh::{cluster_from_signatures_with_bits, LshTable};
 use adr_clustering::reuse_cache::ReuseCache;
 use adr_tensor::matrix::Matrix;
-use adr_tensor::par::matmul_par;
+use adr_tensor::par::matmul_rows_range_into;
 
 use crate::hashpack::PackedHasher;
 use crate::stats::ReuseStats;
 use crate::subvec::SubVecSplit;
+
+/// Recycled scratch buffers for the reuse forward pass.
+///
+/// Every buffer here is sized on first use and *reused* — heap capacity kept,
+/// contents reset — on every later call, so a steady-state training step's
+/// hash/centroid/scatter machinery allocates nothing. The arena owns only
+/// scratch: everything [`ForwardOutcome`] returns (output, tables, centroids)
+/// is still freshly allocated because the caller keeps it for the backward
+/// pass.
+#[derive(Debug)]
+pub struct ReuseArena {
+    /// Row-major packed signatures, `N × num_subs`.
+    sig_all: Vec<u64>,
+    /// Cluster ids whose signature missed the CR cache, one sub at a time.
+    miss_rows: Vec<usize>,
+    /// Gathered centroid rows of the cache misses (`|miss| × L_I`).
+    miss_cent: Matrix,
+    /// GEMM output for the cache misses (`|miss| × M`).
+    miss_out: Matrix,
+    /// Per-sub-matrix cluster outputs `y_c^(I)` (`|C_I| × M`).
+    cluster_outputs: Vec<Matrix>,
+}
+
+impl Default for ReuseArena {
+    fn default() -> Self {
+        Self {
+            sig_all: Vec::new(),
+            miss_rows: Vec::new(),
+            miss_cent: Matrix::zeros(0, 0),
+            miss_out: Matrix::zeros(0, 0),
+            cluster_outputs: Vec::new(),
+        }
+    }
+}
 
 /// Everything a reuse forward pass produces: the output plus the clustering
 /// state the backward pass will consume.
@@ -64,8 +98,37 @@ pub fn reuse_forward(
     bias: &[f32],
     split: &SubVecSplit,
     lsh: &[LshTable],
+    caches: Option<&mut [ReuseCache]>,
+    rows_per_image: Option<usize>,
+) -> ForwardOutcome {
+    let hasher = PackedHasher::new(split, lsh);
+    let mut arena = ReuseArena::default();
+    reuse_forward_with(x_unf, weight, bias, split, lsh, &hasher, caches, rows_per_image, &mut arena)
+}
+
+/// [`reuse_forward`] with a caller-owned [`PackedHasher`] and [`ReuseArena`]
+/// — the steady-state entry point. [`reuse_forward`] rebuilds the hasher and
+/// scratch buffers on every call; a training loop that owns both (the reuse
+/// layer does) pays those allocations once per reconfiguration instead of
+/// once per batch.
+///
+/// `hasher` must be the packed form of exactly this `split`/`lsh` pair.
+///
+/// # Panics
+/// Panics on any dimension disagreement between the inputs, when `hasher`
+/// disagrees with the split, or when single-input scope is combined with
+/// caches (contradictory scopes).
+#[allow(clippy::too_many_arguments)]
+pub fn reuse_forward_with(
+    x_unf: &Matrix,
+    weight: &Matrix,
+    bias: &[f32],
+    split: &SubVecSplit,
+    lsh: &[LshTable],
+    hasher: &PackedHasher,
     mut caches: Option<&mut [ReuseCache]>,
     rows_per_image: Option<usize>,
+    arena: &mut ReuseArena,
 ) -> ForwardOutcome {
     let (n, k) = x_unf.shape();
     let m = weight.cols();
@@ -73,6 +136,7 @@ pub fn reuse_forward(
     assert_eq!(weight.rows(), k, "weight rows disagree with K");
     assert_eq!(bias.len(), m, "bias length disagrees with M");
     assert_eq!(lsh.len(), split.num_sub_vectors(), "one LSH family per sub-matrix required");
+    assert_eq!(hasher.num_subs(), split.num_sub_vectors(), "hasher disagrees with split");
     if let Some(ref c) = caches {
         assert_eq!(c.len(), split.num_sub_vectors(), "one cache per sub-matrix required");
         assert!(
@@ -89,18 +153,20 @@ pub fn reuse_forward(
     let num_subs = split.num_sub_vectors();
     let mut tables = Vec::with_capacity(num_subs);
     let mut centroids = Vec::with_capacity(num_subs);
-    let mut cluster_outputs: Vec<Matrix> = Vec::with_capacity(num_subs);
+    if arena.cluster_outputs.len() < num_subs {
+        arena.cluster_outputs.resize_with(num_subs, || Matrix::zeros(0, 0));
+    }
     let mut stats = ReuseStats { rows: n, num_sub_vectors: num_subs, ..Default::default() };
     let mut cluster_total = 0usize;
     let mut reuse_rate_sum = 0.0f64;
 
     // One streaming pass produces every sub-vector signature (row-major:
     // sig_all[r * num_subs + i]).
-    let hasher = PackedHasher::new(split, lsh);
-    let sig_all = {
+    {
         let _span = adr_obs::span_phase(adr_obs::Phase::Hash);
-        hasher.hash_all(x_unf)
-    };
+        hasher.hash_all_into(x_unf, &mut arena.sig_all);
+    }
+    let sig_all = &arena.sig_all;
 
     for (i, &(start, end)) in split.ranges().iter().enumerate() {
         let width = end - start;
@@ -130,42 +196,49 @@ pub fn reuse_forward(
             width,
             "reuse forward: sub-matrix {i} centroids (row = cluster id)"
         );
-        let w_i = weight.row_slice(start, end);
         let num_clusters = table.num_clusters();
         cluster_total += num_clusters;
 
-        let y_c = match caches.as_deref_mut() {
+        // Both branches multiply centroid rows against the weight's
+        // `[start, end)` row band in place — no `row_slice` copy of the
+        // weight, no fresh output matrix: `y_c` is arena scratch.
+        let y_c = &mut arena.cluster_outputs[i];
+        match caches.as_deref_mut() {
             Some(cache_slice) => {
                 let cache = &mut cache_slice[i];
-                let mut y_c = Matrix::zeros(num_clusters, m);
-                let mut miss_rows: Vec<usize> = Vec::new();
+                y_c.reset(num_clusters, m);
+                arena.miss_rows.clear();
                 for (c, &sig) in sigs.iter().enumerate() {
                     match cache.probe(sig) {
                         Some(row) => y_c.row_mut(c).copy_from_slice(row),
-                        None => miss_rows.push(c),
+                        None => arena.miss_rows.push(c),
                     }
                 }
-                if !miss_rows.is_empty() {
+                if !arena.miss_rows.is_empty() {
                     // Batch the misses into one GEMM.
-                    let mut miss_cent = Matrix::zeros(miss_rows.len(), width);
-                    for (mi, &c) in miss_rows.iter().enumerate() {
-                        miss_cent.row_mut(mi).copy_from_slice(cent.row(c));
+                    arena.miss_cent.reset(arena.miss_rows.len(), width);
+                    for (mi, &c) in arena.miss_rows.iter().enumerate() {
+                        arena.miss_cent.row_mut(mi).copy_from_slice(cent.row(c));
                     }
-                    let miss_out = matmul_par(&miss_cent, &w_i);
-                    stats.gemm_flops += (miss_rows.len() * width * m) as u64;
-                    for (mi, &c) in miss_rows.iter().enumerate() {
-                        y_c.row_mut(c).copy_from_slice(miss_out.row(mi));
-                        cache.insert(sigs[c], miss_out.row(mi));
+                    matmul_rows_range_into(
+                        &arena.miss_cent,
+                        weight,
+                        (start, end),
+                        &mut arena.miss_out,
+                    );
+                    stats.gemm_flops += (arena.miss_rows.len() * width * m) as u64;
+                    for (mi, &c) in arena.miss_rows.iter().enumerate() {
+                        y_c.row_mut(c).copy_from_slice(arena.miss_out.row(mi));
+                        cache.insert(sigs[c], arena.miss_out.row(mi));
                     }
                 }
                 reuse_rate_sum += cache.mean_reuse_rate();
-                y_c
             }
             None => {
                 stats.gemm_flops += (num_clusters * width * m) as u64;
-                matmul_par(&cent, &w_i)
+                matmul_rows_range_into(&cent, weight, (start, end), y_c);
             }
-        };
+        }
         drop(gemm_span);
 
         adr_tensor::checked_shape!(
@@ -181,12 +254,11 @@ pub fn reuse_forward(
         stats.add_flops += (n * m) as u64;
         tables.push(table);
         centroids.push(cent);
-        cluster_outputs.push(y_c);
     }
 
     // Row-parallel reconstruction: out[r] = bias + Σ_I y_c^(I)[cluster_I(r)].
     let scatter_span = adr_obs::span_phase(adr_obs::Phase::Scatter);
-    let output = reconstruct(n, m, bias, &tables, &cluster_outputs);
+    let output = reconstruct(n, m, bias, &tables, &arena.cluster_outputs[..num_subs]);
     drop(scatter_span);
     adr_tensor::checked_finite!(output.as_slice(), "reuse forward: reconstructed output");
 
@@ -209,46 +281,25 @@ fn reconstruct(
 ) -> Matrix {
     let mut output = Matrix::zeros(n, m);
     // Gather-and-add over cluster rows — memory-bound, like col2im.
-    let work = n * m * tables.len();
-    let threads = adr_tensor::par::memory_threads(work).min(n.max(1));
-    if threads <= 1 {
-        let out_slice = output.as_mut_slice();
-        for r in 0..n {
-            let dst = &mut out_slice[r * m..(r + 1) * m];
-            dst.copy_from_slice(bias);
-            for (table, y_c) in tables.iter().zip(cluster_outputs) {
-                let src = y_c.row(table.cluster_of(r) as usize);
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
-            }
-        }
-        return output;
-    }
-    let rows_per = n.div_ceil(threads).max(1);
-    let out_slice = output.as_mut_slice();
-    std::thread::scope(|scope| {
-        let mut rest = out_slice;
-        let mut row0 = 0usize;
-        while row0 < n {
-            let rows_here = rows_per.min(n - row0);
-            let (chunk, tail) = rest.split_at_mut(rows_here * m);
-            rest = tail;
-            scope.spawn(move || {
-                for r in 0..rows_here {
-                    let dst = &mut chunk[r * m..(r + 1) * m];
-                    dst.copy_from_slice(bias);
-                    for (table, y_c) in tables.iter().zip(cluster_outputs) {
-                        let src = y_c.row(table.cluster_of(row0 + r) as usize);
-                        for (d, s) in dst.iter_mut().zip(src) {
-                            *d += s;
-                        }
+    let threads = adr_tensor::par::memory_threads(n * m * tables.len());
+    adr_tensor::par::run_row_blocks(
+        output.as_mut_slice(),
+        m,
+        n,
+        threads,
+        |row0, rows_here, chunk| {
+            for r in 0..rows_here {
+                let dst = &mut chunk[r * m..(r + 1) * m];
+                dst.copy_from_slice(bias);
+                for (table, y_c) in tables.iter().zip(cluster_outputs) {
+                    let src = y_c.row(table.cluster_of(row0 + r) as usize);
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d += s;
                     }
                 }
-            });
-            row0 += rows_here;
-        }
-    });
+            }
+        },
+    );
     output
 }
 

@@ -29,11 +29,19 @@ impl PackedHasher {
     /// Packs one LSH family per sub-matrix.
     ///
     /// # Panics
-    /// Panics unless families match the split's widths and all share the
-    /// same `H ≤ 64`.
+    /// Panics when `lsh` is empty (there is nothing to hash against — a
+    /// hasher cannot be built before its families exist), when the family
+    /// count disagrees with the split (`split.num_sub_vectors()` is always
+    /// ≥ 1), when a family's width disagrees with its sub-vector range, or
+    /// when the families do not all share the same `H` in `1..=64`.
     pub fn new(split: &SubVecSplit, lsh: &[LshTable]) -> Self {
+        assert!(
+            !lsh.is_empty(),
+            "PackedHasher::new needs at least one LSH family; an empty slice has no H to pack \
+             (build the families before the hasher)"
+        );
         assert_eq!(lsh.len(), split.num_sub_vectors(), "one LSH family per sub-matrix");
-        let h = lsh.first().map(LshTable::num_hashes).unwrap_or(0);
+        let h = lsh[0].num_hashes();
         assert!((1..=64).contains(&h), "H must be in 1..=64");
         let k = split.k();
         let mut packed = vec![0.0f32; k * h];
@@ -73,33 +81,28 @@ impl PackedHasher {
     /// # Panics
     /// Panics if `x.cols() != K`.
     pub fn hash_all(&self, x: &Matrix) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.hash_all_into(x, &mut out);
+        out
+    }
+
+    /// [`Self::hash_all`] into a caller-owned signature buffer, which is
+    /// resized (heap capacity reused) first — the arena variant the reuse
+    /// forward pass uses so steady-state hashing allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != K`.
+    pub fn hash_all_into(&self, x: &Matrix, out: &mut Vec<u64>) {
         assert_eq!(x.cols(), self.k, "hash_all: column count mismatch");
         let n = x.rows();
         let subs = self.num_subs();
-        let mut out = vec![0u64; n * subs];
+        out.clear();
+        out.resize(n * subs, 0);
         // Hashing is a dense projection — compute-bound, like GEMM.
-        let work = n * self.k * self.h;
-        let threads = adr_tensor::par::compute_threads(work).min(n.max(1));
-        if threads <= 1 {
-            self.hash_rows(x, 0, n, &mut out);
-            return out;
-        }
-        let rows_per = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut rest = out.as_mut_slice();
-            let mut row0 = 0usize;
-            while row0 < n {
-                let rows_here = rows_per.min(n - row0);
-                let (chunk, tail) = rest.split_at_mut(rows_here * subs);
-                rest = tail;
-                let me = &*self;
-                scope.spawn(move || {
-                    me.hash_rows(x, row0, rows_here, chunk);
-                });
-                row0 += rows_here;
-            }
+        let threads = adr_tensor::par::compute_threads(n * self.k * self.h);
+        adr_tensor::par::run_row_blocks(out, subs, n, threads, |row0, rows_here, chunk| {
+            self.hash_rows(x, row0, rows_here, chunk);
         });
-        out
     }
 
     /// Hashes rows `[row0, row0 + count)` into `out` (length `count · subs`).
@@ -119,9 +122,9 @@ impl PackedHasher {
                     sub += 1;
                 }
                 let planes = &self.packed[k * h..k * h + h];
-                for (a, &p) in acc[..h].iter_mut().zip(planes) {
-                    *a += xv * p;
-                }
+                // Element-wise vector saxpy: bitwise identical to the scalar
+                // loop (one IEEE mul + add per projection, same order).
+                adr_tensor::kernels::saxpy(&mut acc[..h], xv, planes);
             }
             sig_row[sub] = pack_signs(&acc[..h]);
         }
@@ -193,6 +196,28 @@ mod tests {
                 assert_eq!(all[r * 6 + i], expect, "row {r} sub {i}");
             }
         }
+    }
+
+    /// Satellite-bug pin: an empty family slice used to fall through
+    /// `unwrap_or(0)` into the misleading `"H must be in 1..=64"` panic;
+    /// it must get its own descriptive message.
+    #[test]
+    #[should_panic(expected = "needs at least one LSH family")]
+    fn empty_family_slice_gets_descriptive_panic() {
+        let split = SubVecSplit::new(8, 4);
+        PackedHasher::new(&split, &[]);
+    }
+
+    #[test]
+    fn hash_all_into_reuses_buffer_and_matches_hash_all() {
+        let mut rng = AdrRng::seeded(11);
+        let x = Matrix::from_fn(12, 10, |_, _| rng.gauss());
+        let split = SubVecSplit::new(10, 4); // widths 4,4,2
+        let lsh = families(&split, 6, 12);
+        let packed = PackedHasher::new(&split, &lsh);
+        let mut arena = vec![u64::MAX; 99]; // stale garbage must be cleared
+        packed.hash_all_into(&x, &mut arena);
+        assert_eq!(arena, packed.hash_all(&x));
     }
 
     #[test]

@@ -6,14 +6,15 @@ use adr_clustering::reuse_cache::ReuseCache;
 use adr_nn::flops::{FlopMeter, FlopReport};
 use adr_nn::init::Init;
 use adr_nn::layer::{Layer, Mode, ParamRefMut, Shape3};
-use adr_tensor::im2col::{col2im, im2col, ConvGeom};
+use adr_tensor::im2col::{col2im, im2col_into, ConvGeom};
 use adr_tensor::matrix::Matrix;
 use adr_tensor::rng::AdrRng;
 use adr_tensor::Tensor4;
 
 use crate::backward::reuse_backward;
 use crate::cost::{training_step_cost, CostParams};
-use crate::forward::reuse_forward;
+use crate::forward::{reuse_forward_with, ReuseArena};
+use crate::hashpack::PackedHasher;
 use crate::stats::ReuseStats;
 use crate::subvec::SubVecSplit;
 use crate::{ClusterScope, DegenerateClustering, ReuseConfig};
@@ -59,6 +60,15 @@ pub struct ReuseConv2d {
     cache_refresh_every: usize,
     train_batches_since_refresh: usize,
     cached: Option<CachedForward>,
+    /// Packed form of the current `(split, lsh)` pair, rebuilt whenever the
+    /// families are (config retune, degenerate-clustering injection, repair).
+    /// `None` only during construction, before the first family build.
+    hasher: Option<PackedHasher>,
+    /// Recycled forward-pass scratch (signatures, miss batches, cluster
+    /// outputs) — steady-state forwards reuse its heap capacity.
+    arena: ReuseArena,
+    /// Recycled im2col output; sized on the first forward, reused after.
+    unfolded: Matrix,
     meter: FlopMeter,
     stats: ReuseStats,
 }
@@ -94,6 +104,9 @@ impl ReuseConv2d {
             cache_refresh_every: 8,
             train_batches_since_refresh: 0,
             cached: None,
+            hasher: None,
+            arena: ReuseArena::default(),
+            unfolded: Matrix::zeros(0, 0),
             meter: FlopMeter::new(),
             stats: ReuseStats::default(),
         };
@@ -141,6 +154,7 @@ impl ReuseConv2d {
         } else {
             Vec::new()
         };
+        self.hasher = Some(PackedHasher::new(&self.split, &self.lsh));
         self.cached = None;
     }
 
@@ -201,7 +215,10 @@ impl ReuseConv2d {
                 }
             })
             .collect();
-        // Old signatures are meaningless under the corrupted families.
+        // Old signatures are meaningless under the corrupted families, and
+        // the packed hasher must track them — forgetting it here would keep
+        // hashing with the healthy families, hiding the injected fault.
+        self.hasher = Some(PackedHasher::new(&self.split, &self.lsh));
         self.caches = if self.config.cluster_reuse {
             (0..self.split.num_sub_vectors()).map(|_| ReuseCache::new(self.out_channels)).collect()
         } else {
@@ -372,11 +389,11 @@ impl Layer for ReuseConv2d {
         // Telemetry: attribute the phase spans below (and those inside
         // `reuse_forward`) to this layer. No-op when no sink is installed.
         adr_obs::enter_layer(&self.name);
-        let unfolded = {
+        {
             let _span = adr_obs::span_phase(adr_obs::Phase::Im2col);
-            im2col(input, &self.geom)
-        };
-        let (n, k) = unfolded.shape();
+            im2col_into(input, &self.geom, &mut self.unfolded);
+        }
+        let (n, k) = self.unfolded.shape();
         let caches = if self.config.cluster_reuse {
             if mode == Mode::Train {
                 self.train_batches_since_refresh += 1;
@@ -398,14 +415,16 @@ impl Layer for ReuseConv2d {
             ClusterScope::SingleInput => Some(self.geom.rows_per_image()),
             ClusterScope::SingleBatch => None,
         };
-        let outcome = reuse_forward(
-            &unfolded,
+        let outcome = reuse_forward_with(
+            &self.unfolded,
             &self.weight,
             &self.bias,
             &self.split,
             &self.lsh,
+            self.hasher.as_ref().expect("families are built before any forward"),
             caches,
             rows_per_image,
+            &mut self.arena,
         );
         self.stats = outcome.stats;
         let baseline = (n * k * self.out_channels) as u64;

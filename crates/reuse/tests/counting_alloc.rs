@@ -24,7 +24,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use adr_clustering::lsh::LshTable;
 use adr_clustering::reuse_cache::ReuseCache;
-use adr_reuse::forward::reuse_forward;
+use adr_reuse::forward::{reuse_forward_with, ReuseArena};
+use adr_reuse::hashpack::PackedHasher;
 use adr_reuse::subvec::SubVecSplit;
 use adr_tensor::im2col::{im2col, ConvGeom};
 use adr_tensor::matrix::Matrix;
@@ -128,22 +129,37 @@ fn steady_state_allocation_counts_match_the_budget() {
     }
 
     // Reuse path: same unfolded input every batch, so after the first
-    // pass every signature hits the cache and the count is steady.
+    // pass every signature hits the cache and the count is steady. Uses the
+    // steady-state entry point the layer uses — a long-lived hasher and
+    // arena — so the pin measures the amortized path, not the compat
+    // wrapper that rebuilds both per call.
     let x_unf = im2col(&input, &geom);
     let split = SubVecSplit::new(geom.k(), 9);
     let num_subs = split.num_sub_vectors();
     let lsh: Vec<LshTable> =
         (0..num_subs).map(|i| LshTable::new(split.width(i), 6, &mut rng)).collect();
+    let hasher = PackedHasher::new(&split, &lsh);
+    let mut arena = ReuseArena::default();
     let mut caches: Vec<ReuseCache> = (0..num_subs).map(|_| ReuseCache::new(4)).collect();
 
-    let reuse_step = |caches: &mut Vec<ReuseCache>| {
+    let mut reuse_step = |caches: &mut Vec<ReuseCache>| {
         for c in caches.iter_mut() {
             c.begin_batch();
         }
-        reuse_forward(&x_unf, &weight, &bias, &split, &lsh, Some(caches), None)
+        reuse_forward_with(
+            &x_unf,
+            &weight,
+            &bias,
+            &split,
+            &lsh,
+            &hasher,
+            Some(caches),
+            None,
+            &mut arena,
+        )
     };
     for _ in 0..2 {
-        let _ = reuse_step(&mut caches); // warmup: fills the reuse cache
+        let _ = reuse_step(&mut caches); // warmup: fills cache and arena
     }
     let expected = runtime_budget("reuse_forward_step");
     for step in 0..3 {

@@ -11,6 +11,7 @@
 #![allow(clippy::unwrap_used)]
 
 use adr_clustering::lsh::LshTable;
+use adr_reuse::forward::{reuse_forward, reuse_forward_with, ReuseArena};
 use adr_reuse::hashpack::PackedHasher;
 use adr_reuse::subvec::SubVecSplit;
 use adr_tensor::matrix::Matrix;
@@ -20,6 +21,13 @@ use std::sync::Mutex;
 
 /// The override is process-global; serialise the tests that flip it.
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Drops the persistent worker pool: under Miri leaked threads at process
+/// exit are an error, so every test shuts the pool down before releasing
+/// the override lock.
+fn shutdown() {
+    adr_tensor::kernels::pool::shutdown_pool();
+}
 
 fn families(split: &SubVecSplit, h: usize, seed: u64) -> Vec<LshTable> {
     let mut rng = AdrRng::seeded(seed);
@@ -38,6 +46,7 @@ fn hash_all_forced_two_threads_equals_serial() {
     set_thread_override(Some(2));
     let forced = packed.hash_all(&x);
     set_thread_override(None);
+    shutdown();
     assert_eq!(serial, forced);
 }
 
@@ -55,7 +64,37 @@ fn hash_all_thread_count_beyond_rows_equals_serial() {
     set_thread_override(Some(16));
     let forced = packed.hash_all(&x);
     set_thread_override(None);
+    shutdown();
     assert_eq!(serial, forced);
+}
+
+#[test]
+fn arena_forward_is_bitwise_equal_to_the_rebuilding_wrapper() {
+    // The arena entry point must be a pure performance change: a dirty
+    // arena reused across calls (and a forced-parallel pool underneath)
+    // produces bitwise the output of the rebuild-everything wrapper.
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rng = AdrRng::seeded(41);
+    let x = Matrix::from_fn(10, 12, |_, _| rng.gauss());
+    let w = Matrix::from_fn(12, 4, |_, _| rng.gauss() * 0.2);
+    let bias = [0.05f32, -0.1, 0.0, 0.2];
+    let split = SubVecSplit::new(12, 5); // widths 5,5,2
+    let lsh = families(&split, 8, 42);
+    set_thread_override(None);
+    let wrapper = reuse_forward(&x, &w, &bias, &split, &lsh, None, None);
+    let hasher = PackedHasher::new(&split, &lsh);
+    let mut arena = ReuseArena::default();
+    set_thread_override(Some(2));
+    for round in 0..2 {
+        let with_arena =
+            reuse_forward_with(&x, &w, &bias, &split, &lsh, &hasher, None, None, &mut arena);
+        assert_eq!(with_arena.output.as_slice(), wrapper.output.as_slice(), "round {round}");
+        for (i, (a, b)) in with_arena.centroids.iter().zip(&wrapper.centroids).enumerate() {
+            assert_eq!(a.as_slice(), b.as_slice(), "round {round} sub {i} centroids");
+        }
+    }
+    set_thread_override(None);
+    shutdown();
 }
 
 /// Under Miri the aliasing checks on the `split_at_mut` hand-off are the
@@ -78,5 +117,6 @@ mod miri_only {
             assert_eq!(packed.hash_all(&x), reference, "{workers} workers");
         }
         set_thread_override(None);
+        shutdown();
     }
 }

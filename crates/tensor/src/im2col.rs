@@ -113,6 +113,21 @@ impl ConvGeom {
 /// # Panics
 /// Panics if the input tensor's spatial/channel shape disagrees with `geom`.
 pub fn im2col(input: &Tensor4, geom: &ConvGeom) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    im2col_into(input, geom, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-owned matrix, which is reshaped (heap capacity
+/// reused) and zeroed first — the arena variant the reuse layer uses so the
+/// unfold of every training step after the first allocates nothing.
+///
+/// The zero-reset is load-bearing: `unfold_one` writes only in-bounds taps
+/// and relies on padding positions already holding zero.
+///
+/// # Panics
+/// Panics if the input tensor's spatial/channel shape disagrees with `geom`.
+pub fn im2col_into(input: &Tensor4, geom: &ConvGeom, out: &mut Matrix) {
     assert_eq!(
         (input.height(), input.width(), input.channels()),
         (geom.in_h, geom.in_w, geom.in_c),
@@ -121,43 +136,26 @@ pub fn im2col(input: &Tensor4, geom: &ConvGeom) -> Matrix {
     let (oh, ow, k) = (geom.out_h(), geom.out_w(), geom.k());
     let nb = input.batch();
     let n = geom.rows_for_batch(nb);
-    let mut out = Matrix::zeros(n, k);
+    out.reset(n, k);
     let per_image_rows = oh * ow;
     let data = input.as_slice();
     let per_image_len = geom.in_h * geom.in_w * geom.in_c;
     // Each image's unfolded rows form a contiguous block of `out`, so the
-    // batch parallelises with no synchronisation.
-    let threads = crate::par::memory_threads(n * k).min(nb.max(1));
-    let out_slice = out.as_mut_slice();
-    let unfold_image = |b: usize, block: &mut [f32]| {
-        let image = &data[b * per_image_len..(b + 1) * per_image_len];
-        unfold_one(image, geom, block);
-    };
-    if threads <= 1 {
-        for b in 0..nb {
-            let block = &mut out_slice[b * per_image_rows * k..(b + 1) * per_image_rows * k];
-            unfold_image(b, block);
-        }
-        return out;
-    }
-    std::thread::scope(|scope| {
-        let mut rest = out_slice;
-        let per = nb.div_ceil(threads);
-        let mut b0 = 0usize;
-        while b0 < nb {
-            let count = per.min(nb - b0);
-            let (chunk, tail) = rest.split_at_mut(count * per_image_rows * k);
-            rest = tail;
-            let unfold_image = &unfold_image;
-            scope.spawn(move || {
-                for (i, block) in chunk.chunks_mut(per_image_rows * k).enumerate() {
-                    unfold_image(b0 + i, block);
-                }
-            });
-            b0 += count;
-        }
-    });
-    out
+    // batch parallelises with no synchronisation (one "row" per image).
+    let threads = crate::par::memory_threads(n * k);
+    crate::par::run_row_blocks(
+        out.as_mut_slice(),
+        per_image_rows * k,
+        nb,
+        threads,
+        |b0, _count, chunk| {
+            for (i, block) in chunk.chunks_mut(per_image_rows * k).enumerate() {
+                let b = b0 + i;
+                let image = &data[b * per_image_len..(b + 1) * per_image_len];
+                unfold_one(image, geom, block);
+            }
+        },
+    );
 }
 
 /// Unfolds one NHWC image into its `Oh·Ow × K` block.
@@ -212,37 +210,22 @@ pub fn col2im(cols: &Matrix, geom: &ConvGeom, batch: usize) -> Tensor4 {
     let per_image_len = geom.in_h * geom.in_w * geom.in_c;
     let k = geom.k();
     // Image `b`'s gradients fold only into image `b`'s slice of the output,
-    // so the batch parallelises with no synchronisation.
-    let threads = crate::par::memory_threads(cols.rows() * k).min(batch.max(1));
+    // so the batch parallelises with no synchronisation (one "row" per image).
+    let threads = crate::par::memory_threads(cols.rows() * k);
     let cols_data = cols.as_slice();
-    let out_slice = out.as_mut_slice();
-    let fold_image = |b: usize, image: &mut [f32]| {
-        let block = &cols_data[b * per_image_rows * k..(b + 1) * per_image_rows * k];
-        fold_one(block, geom, image);
-    };
-    if threads <= 1 {
-        for b in 0..batch {
-            fold_image(b, &mut out_slice[b * per_image_len..(b + 1) * per_image_len]);
-        }
-        return out;
-    }
-    std::thread::scope(|scope| {
-        let mut rest = out_slice;
-        let per = batch.div_ceil(threads);
-        let mut b0 = 0usize;
-        while b0 < batch {
-            let count = per.min(batch - b0);
-            let (chunk, tail) = rest.split_at_mut(count * per_image_len);
-            rest = tail;
-            let fold_image = &fold_image;
-            scope.spawn(move || {
-                for (i, image) in chunk.chunks_mut(per_image_len).enumerate() {
-                    fold_image(b0 + i, image);
-                }
-            });
-            b0 += count;
-        }
-    });
+    crate::par::run_row_blocks(
+        out.as_mut_slice(),
+        per_image_len,
+        batch,
+        threads,
+        |b0, _count, chunk| {
+            for (i, image) in chunk.chunks_mut(per_image_len).enumerate() {
+                let b = b0 + i;
+                let block = &cols_data[b * per_image_rows * k..(b + 1) * per_image_rows * k];
+                fold_one(block, geom, image);
+            }
+        },
+    );
     out
 }
 

@@ -1,0 +1,278 @@
+//! Persistent worker pool behind every hot-path fan-out.
+//!
+//! `std::thread::scope` spawns and joins OS threads on every call — roughly
+//! 10–20 µs of overhead per fan-out, paid again at each matmul, im2col,
+//! col2im, `hash_all`, and reconstruct. The pool here spawns
+//! `hardware_threads() - 1` workers once (lazily, on the first parallel
+//! fan-out) and reuses them for the life of the process; a fan-out becomes a
+//! handful of channel sends plus an inline chunk on the calling thread.
+//!
+//! # Lifecycle
+//!
+//! * [`with_pool`] lazily creates the global pool under an `RwLock` and hands
+//!   a clone of the `Arc` to the caller; steady-state cost is one read-lock.
+//! * [`shutdown_pool`] drops the global handle, disconnecting the job
+//!   channels so every worker drains and exits; `Drop` joins them. Tests
+//!   that must end with no live threads (Miri rejects leaked threads at
+//!   process exit) call this explicitly.
+//!
+//! # Determinism
+//!
+//! The pool only changes *where* a row block runs, never how blocks are cut:
+//! callers decompose work exactly as the scoped-spawn code did and each block
+//! writes a disjoint `split_at_mut` chunk, so results are bitwise identical
+//! to both the serial and the old scoped-parallel paths.
+//!
+//! # Panic and borrow safety
+//!
+//! [`WorkerPool::scope_run`] is the only place jobs cross into the workers.
+//! It erases the caller's `'env` lifetime (the one `unsafe` in this module)
+//! and is sound because it never returns — by unwind or normal exit — until
+//! every dispatched job has reported completion through its channel. Worker
+//! panics are caught, carried back as payloads, and re-raised on the caller.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+thread_local! {
+    /// Set inside `worker_loop`. A pooled job that itself reaches a fan-out
+    /// site must not enqueue onto the pool it is running on (the job at the
+    /// front of its own queue would be itself — deadlock); `scope_run` checks
+    /// this flag and degrades to serial execution, which is bitwise
+    /// equivalent anyway.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Persistent worker threads fed by per-worker job channels.
+pub struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+fn worker_loop(rx: std::sync::mpsc::Receiver<Job>) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    while let Ok(job) = rx.recv() {
+        job();
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers.max(1)` threads, each owning one job channel.
+    fn spawn(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("adr-pool-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawning a pool worker thread failed");
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Runs `tasks` on the workers and `inline` on the calling thread, then
+    /// blocks until every task has finished. Tasks may borrow from the
+    /// caller's stack (`'env`), exactly like `std::thread::scope` closures.
+    ///
+    /// # Panics
+    /// Re-raises the first panic payload from `inline` or any task after all
+    /// tasks have completed, and panics if a worker disappears mid-run.
+    pub fn scope_run<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        inline: impl FnOnce(),
+    ) {
+        if tasks.is_empty() {
+            inline();
+            return;
+        }
+        if IS_POOL_WORKER.with(std::cell::Cell::get) {
+            // Nested fan-out from inside a pooled job: run everything on this
+            // worker. Same block decomposition, same bits, no deadlock.
+            for task in tasks {
+                task();
+            }
+            inline();
+            return;
+        }
+
+        let count = tasks.len();
+        let (done_tx, done_rx) = channel::<std::thread::Result<()>>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let done = done_tx.clone();
+            // The 'env → 'static erasure below leans on the same guarantee
+            // `std::thread::scope` provides via its join barrier: each job
+            // sends its completion message strictly after the boxed task —
+            // and every 'env borrow inside it — has been dropped, and the
+            // drain loop below receives exactly `count` such messages.
+            // SAFETY: scope_run never returns (normally or by unwind) before
+            // the drain loop completes, so the caller's stack frame outlives
+            // every use of the transmuted 'env borrows.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(task));
+                    // Receiver alive for the whole drain loop; a send error
+                    // only means the caller is already panicking fatally.
+                    let _ = done.send(result);
+                }))
+            };
+            let slot = i % self.senders.len();
+            self.senders[slot].send(job).expect("worker pool thread exited while pool was live");
+        }
+        drop(done_tx);
+
+        let inline_result = catch_unwind(AssertUnwindSafe(inline));
+        let mut first_task_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for _ in 0..count {
+            match done_rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(payload)) => {
+                    if first_task_panic.is_none() {
+                        first_task_panic = Some(payload);
+                    }
+                }
+                Err(_) => {
+                    // A worker died without reporting: its catch_unwind
+                    // always sends, so the channel can only close if the
+                    // worker thread itself was torn down. Nothing borrows
+                    // 'env anymore (all senders dropped), so panicking here
+                    // is safe.
+                    panic!("worker pool disconnected while tasks were in flight");
+                }
+            }
+        }
+        if let Err(payload) = inline_result {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = first_task_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect every job channel so `worker_loop` sees `Err` and
+        // returns, then join so no thread outlives the pool (Miri fails the
+        // process on leaked threads).
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // A worker only panics if a job's catch_unwind was bypassed by a
+            // foreign exception; surfacing that at shutdown is correct.
+            handle.join().expect("pool worker panicked outside a job");
+        }
+    }
+}
+
+static POOL: RwLock<Option<Arc<WorkerPool>>> = RwLock::new(None);
+
+/// Runs `f` with the global pool, creating it on first use with
+/// `hardware_threads() - 1` workers (the calling thread is the extra lane).
+pub fn with_pool<R>(f: impl FnOnce(&WorkerPool) -> R) -> R {
+    let existing = POOL.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+    let pool = match existing {
+        Some(pool) => pool,
+        None => {
+            let mut slot = POOL.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.get_or_insert_with(|| {
+                Arc::new(WorkerPool::spawn(crate::par::hardware_threads().saturating_sub(1)))
+            })
+            .clone()
+        }
+    };
+    f(&pool)
+}
+
+/// Tears down the global pool, joining every worker thread.
+///
+/// Fan-outs after shutdown transparently respawn the pool; this exists so
+/// tests (Miri in particular) can end the process with zero live threads.
+pub fn shutdown_pool() {
+    let taken = POOL.write().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    // Dropping the last Arc joins the workers. If a concurrent fan-out still
+    // holds a clone, its drop performs the join instead.
+    drop(taken);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_run_executes_all_tasks_and_inline() {
+        let pool = WorkerPool::spawn(3);
+        let mut parts: Vec<u64> = vec![0; 4];
+        {
+            let mut chunks = parts.chunks_mut(1);
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+            for t in 0..3u64 {
+                let chunk = chunks.next().expect("four chunks for four slots");
+                tasks.push(Box::new(move || chunk[0] = (t + 1) * 10));
+            }
+            let inline_chunk = chunks.next().expect("four chunks for four slots");
+            pool.scope_run(tasks, || inline_chunk[0] = 40);
+        }
+        assert_eq!(parts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let pool = WorkerPool::spawn(2);
+        let finished = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| panic!("task boom")),
+                Box::new(|| {
+                    finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }),
+            ];
+            pool.scope_run(tasks, || {});
+        }));
+        assert!(result.is_err(), "task panic must re-raise on the caller");
+        assert_eq!(finished.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // The pool survives a panicking job and keeps serving.
+        let mut ok = [false];
+        pool.scope_run(vec![Box::new(|| ok[0] = true)], || {});
+        assert!(ok[0]);
+    }
+
+    #[test]
+    fn inline_panic_still_drains_tasks() {
+        let pool = WorkerPool::spawn(2);
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| {
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }),
+                Box::new(|| {
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }),
+            ];
+            pool.scope_run(tasks, || panic!("inline boom"));
+        }));
+        assert!(result.is_err(), "inline panic must re-raise on the caller");
+        assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_task_list_runs_inline_without_touching_workers() {
+        let pool = WorkerPool::spawn(1);
+        let mut ran = false;
+        pool.scope_run(Vec::new(), || ran = true);
+        assert!(ran);
+    }
+}

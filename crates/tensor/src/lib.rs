@@ -13,7 +13,11 @@
 //!   *neuron vectors* (length-`kw` kernel-row segments) contiguous.
 //! * [`rng`] — deterministic, seedable random sources (uniform and Gaussian)
 //!   so that every experiment in the workspace is reproducible.
-//! * [`par`] — scoped row-block parallelism for the GEMM kernel.
+//! * [`par`] — row-block parallelism for the GEMM kernel, dispatched onto
+//!   the persistent worker pool in [`kernels::pool`].
+//! * [`simd`] / [`kernels`] — the 8-lane `f32` vector type and the
+//!   hand-vectorized saxpy/dot primitives every hot inner loop bottoms out
+//!   in (arch intrinsics behind the `simd` feature flag).
 //! * [`sanitize`] — the feature-gated (`checked`) NaN/Inf sanitizer and
 //!   shape-contract checks threaded through the layer implementations.
 //!
@@ -25,10 +29,12 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod im2col;
+pub mod kernels;
 pub mod matrix;
 pub mod par;
 pub mod rng;
 pub mod sanitize;
+pub mod simd;
 pub mod tensor4;
 
 pub use im2col::{col2im, im2col, ConvGeom};

@@ -49,6 +49,22 @@ impl Matrix {
         Self { rows, cols, data: vec![value; rows * cols] }
     }
 
+    /// Reshapes to `rows × cols` and zeroes every element, reusing the
+    /// existing heap buffer when its capacity suffices.
+    ///
+    /// This is the arena primitive behind the reuse forward pass's recycled
+    /// im2col/centroid buffers: after warm-up, a steady-state training step
+    /// resets matrices instead of allocating fresh ones.
+    ///
+    /// # Shape
+    /// Output becomes `rows × cols`, row-major, all zeros.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Wraps an existing row-major buffer.
     ///
     /// Returns `None` when `data.len() != rows * cols`.
@@ -273,9 +289,7 @@ impl Matrix {
                     continue;
                 }
                 let o = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (oj, &b) in o.iter_mut().zip(b_row.iter()) {
-                    *oj += a * b;
-                }
+                crate::kernels::saxpy(o, a, b_row);
             }
         }
         out
@@ -395,24 +409,14 @@ impl IndexMut<(usize, usize)> for Matrix {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Delegates to the 8-lane vector kernel [`crate::kernels::dot`], whose
+/// fixed-order lane reduction makes the value bitwise reproducible across
+/// runs, thread counts, and SIMD backends.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // Four-way unrolled accumulation; lets LLVM keep independent FMA chains.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for j in chunks * 4..a.len() {
-        sum += a[j] * b[j];
-    }
-    sum
+    crate::kernels::dot(a, b)
 }
 
 /// Core GEMM over raw row-major slices: `c[m x n] += a[m x k] · b[k x n]`.
@@ -438,9 +442,9 @@ pub fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
                     continue;
                 }
                 let b_row = &b[kk * n..(kk + 1) * n];
-                for (cj, &bj) in c_row.iter_mut().zip(b_row.iter()) {
-                    *cj += aik * bj;
-                }
+                // Element-wise vector saxpy: bitwise identical to the scalar
+                // loop (one IEEE mul + add per element, same order).
+                crate::kernels::saxpy(c_row, aik, b_row);
             }
         }
     }

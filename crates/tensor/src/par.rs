@@ -1,9 +1,13 @@
-//! Scoped row-block parallelism for the GEMM kernel (std::thread::scope).
+//! Row-block parallelism for the GEMM kernel, on the persistent worker pool.
 //!
 //! The baseline convolution and the centroid GEMM of the reuse path both
 //! bottom out in [`matmul_par`]. Work is split into contiguous row blocks of
-//! the left operand; each scoped thread writes a disjoint slice of the
-//! output, so no synchronisation is needed beyond the scope join.
+//! the left operand via [`run_row_blocks`]; each block writes a disjoint
+//! `split_at_mut` slice of the output, so no synchronisation is needed beyond
+//! the completion barrier. Blocks are dispatched onto the process-wide
+//! [`crate::kernels::pool`] (the first block runs inline on the caller),
+//! which replaces the former per-call `std::thread::scope` spawn+join —
+//! ~10–20 µs of thread churn per fan-out — with a handful of channel sends.
 
 use crate::matrix::{gemm_rows, Matrix};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -83,11 +87,58 @@ pub fn memory_threads(elems: usize) -> usize {
     hardware_threads().min((elems / MEMORY_ELEMS_PER_THREAD).max(1))
 }
 
+/// Splits `out` into contiguous row blocks (each row is `unit` elements) and
+/// runs `f(first_row, num_rows, block)` once per block — remote blocks on the
+/// persistent worker pool, the first block inline on the calling thread.
+///
+/// This is the single fan-out primitive behind every hot-path parallel site
+/// (matmul, im2col/col2im, `hash_all`, reconstruct). `threads` is clamped to
+/// the row count here — **at the fan-out site** — so callers can pass the raw
+/// crossover estimate and tall-skinny shapes can never produce empty row
+/// ranges or excess dispatches. `threads <= 1` (or fewer than two rows) runs
+/// the whole range as one inline call, which is bitwise identical to the
+/// parallel decomposition because every output element is written by exactly
+/// one block in the same loop order either way.
+///
+/// # Shape
+/// `out` holds `rows × unit` elements, row-major; each callback block is a
+/// whole number of rows.
+///
+/// # Panics
+/// Panics if `out.len() != rows * unit`.
+pub fn run_row_blocks<T, F>(out: &mut [T], unit: usize, rows: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert_eq!(out.len(), rows * unit, "row-block buffer length disagrees with rows * unit");
+    let threads = threads.min(rows.max(1));
+    if threads <= 1 || rows < 2 {
+        if rows > 0 {
+            f(0, rows, out);
+        }
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    let (first, mut rest) = out.split_at_mut(rows_per * unit);
+    let f_ref = &f;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(threads - 1);
+    let mut row0 = rows_per;
+    while row0 < rows {
+        let rows_here = rows_per.min(rows - row0);
+        let (chunk, tail) = rest.split_at_mut(rows_here * unit);
+        rest = tail;
+        tasks.push(Box::new(move || f_ref(row0, rows_here, chunk)));
+        row0 += rows_here;
+    }
+    crate::kernels::pool::with_pool(|pool| pool.scope_run(tasks, || f_ref(0, rows_per, first)));
+}
+
 /// `a · b`, parallelised over row blocks of `a`.
 ///
 /// Falls back to the single-threaded kernel for small problems. Results are
 /// bit-identical to [`Matrix::matmul`] because each output element is still
-/// accumulated by exactly one thread in the same loop order.
+/// accumulated by exactly one block in the same loop order.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -107,25 +158,50 @@ pub fn matmul_par(a: &Matrix, b: &Matrix) -> Matrix {
         return a.matmul(b);
     }
     let mut out = Matrix::zeros(m, n);
-    let rows_per = m.div_ceil(threads);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let out_slice = out.as_mut_slice();
-    std::thread::scope(|scope| {
-        let mut rest = out_slice;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = rows_per.min(m - row0);
-            let (chunk, tail) = rest.split_at_mut(rows_here * n);
-            rest = tail;
-            let a_block = &a_data[row0 * k..(row0 + rows_here) * k];
-            scope.spawn(move || {
-                gemm_rows(a_block, b_data, chunk, rows_here, k, n);
-            });
-            row0 += rows_here;
-        }
+    run_row_blocks(out.as_mut_slice(), n, m, threads, |row0, rows_here, chunk| {
+        let a_block = &a_data[row0 * k..(row0 + rows_here) * k];
+        gemm_rows(a_block, b_data, chunk, rows_here, k, n);
     });
     out
+}
+
+/// `a · b[start..end, :]` without materialising the row slice of `b` — the
+/// centroid-times-weight product of the reuse forward pass, where `b` is the
+/// full `K × M` weight matrix and `[start, end)` is one sub-vector's row
+/// band. Equivalent to `a.matmul(&b.row_slice(start, end))` bit for bit
+/// (the row band is the same contiguous memory the copy would make), minus
+/// the copy.
+///
+/// # Panics
+/// Panics when the row range is out of bounds or `a.cols() != end - start`.
+pub fn matmul_rows_range_par(a: &Matrix, b: &Matrix, row_range: (usize, usize)) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_rows_range_into(a, b, row_range, &mut out);
+    out
+}
+
+/// [`matmul_rows_range_par`] into a caller-owned output matrix, which is
+/// reshaped (capacity reused) and zeroed before accumulation — the arena
+/// variant used by the reuse forward pass to kill per-step allocation.
+///
+/// # Panics
+/// Panics when the row range is out of bounds or `a.cols() != end - start`.
+pub fn matmul_rows_range_into(a: &Matrix, b: &Matrix, row_range: (usize, usize), out: &mut Matrix) {
+    let (start, end) = row_range;
+    assert!(start <= end && end <= b.rows(), "row range out of bounds");
+    let width = end - start;
+    assert_eq!(a.cols(), width, "a width disagrees with row range");
+    let (m, n) = (a.rows(), b.cols());
+    out.reset(m, n);
+    let a_data = a.as_slice();
+    let b_block = &b.as_slice()[start * n..end * n];
+    let threads = compute_threads(m * width * n);
+    run_row_blocks(out.as_mut_slice(), n, m, threads, |row0, rows_here, chunk| {
+        let a_block = &a_data[row0 * width..(row0 + rows_here) * width];
+        gemm_rows(a_block, b_block, chunk, rows_here, width, n);
+    });
 }
 
 /// `a[:, cols] · bᵀ`, parallelised over row chunks of `a` — the tall-skinny
@@ -150,42 +226,15 @@ pub fn matmul_range_t_b_par(a: &Matrix, col_range: (usize, usize), b: &Matrix) -
     let (m, k) = (a.rows(), a.cols());
     let n = b.rows();
     let mut out = Matrix::zeros(m, n);
-    let flops = m * width * n;
-    let threads = compute_threads(flops).min(m.max(1));
+    let threads = compute_threads(m * width * n);
     let a_data = a.as_slice();
-    let b_ref = b;
-    if threads <= 1 {
-        // Inline path: spawning even one scoped thread costs more than the
-        // whole product for small sub-matrices.
-        let out_slice = out.as_mut_slice();
-        for r in 0..m {
-            let row = &a_data[r * k + start..r * k + end];
-            let o = &mut out_slice[r * n..(r + 1) * n];
+    run_row_blocks(out.as_mut_slice(), n, m, threads, |row0, rows_here, chunk| {
+        for r in 0..rows_here {
+            let row = &a_data[(row0 + r) * k + start..(row0 + r) * k + end];
+            let o = &mut chunk[r * n..(r + 1) * n];
             for (j, oj) in o.iter_mut().enumerate() {
-                *oj = crate::matrix::dot(row, b_ref.row(j));
+                *oj = crate::matrix::dot(row, b.row(j));
             }
-        }
-        return out;
-    }
-    let rows_per = m.div_ceil(threads).max(1);
-    let out_slice = out.as_mut_slice();
-    std::thread::scope(|scope| {
-        let mut rest = out_slice;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = rows_per.min(m - row0);
-            let (chunk, tail) = rest.split_at_mut(rows_here * n);
-            rest = tail;
-            scope.spawn(move || {
-                for r in 0..rows_here {
-                    let row = &a_data[(row0 + r) * k + start..(row0 + r) * k + end];
-                    let o = &mut chunk[r * n..(r + 1) * n];
-                    for (j, oj) in o.iter_mut().enumerate() {
-                        *oj = crate::matrix::dot(row, b_ref.row(j));
-                    }
-                }
-            });
-            row0 += rows_here;
         }
     });
     out
@@ -252,5 +301,72 @@ mod tests {
         let out = matmul_par(&a, &b);
         assert_eq!(out.shape(), (3, 4));
         assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    /// Satellite-bug pin: a thread estimate far beyond the row count must be
+    /// clamped at the fan-out site instead of dispatching empty row ranges,
+    /// and the result must stay bitwise equal to the serial single block.
+    #[test]
+    fn tall_skinny_thread_count_is_clamped_to_rows() {
+        for rows in [1usize, 2, 3] {
+            let unit = 5;
+            let mut pooled: Vec<f32> = vec![0.0; rows * unit];
+            let mut serial = pooled.clone();
+            let fill = |row0: usize, rows_here: usize, chunk: &mut [f32]| {
+                for r in 0..rows_here {
+                    for j in 0..unit {
+                        chunk[r * unit + j] = ((row0 + r) * 31 + j) as f32 * 0.125 - 1.0;
+                    }
+                }
+            };
+            run_row_blocks(&mut pooled, unit, rows, 64, fill);
+            run_row_blocks(&mut serial, unit, rows, 1, fill);
+            for (p, s) in pooled.iter().zip(serial.iter()) {
+                assert_eq!(p.to_bits(), s.to_bits(), "rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_row_blocks_handles_zero_rows_and_zero_unit() {
+        let mut empty: Vec<f32> = Vec::new();
+        run_row_blocks(&mut empty, 4, 0, 8, |_, _, _| panic!("no rows to visit"));
+        let mut unit0: Vec<f32> = Vec::new();
+        let visited = AtomicUsize::new(0);
+        run_row_blocks(&mut unit0, 0, 3, 1, |_, rows_here, _| {
+            visited.store(rows_here, Ordering::Relaxed);
+        });
+        assert_eq!(visited.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn rows_range_matches_row_slice_copy_bitwise() {
+        let b = Matrix::from_fn(40, 9, |r, c| (((r * 13 + c * 5) % 17) as f32 - 8.0) * 0.25);
+        let a = Matrix::from_fn(12, 16, |r, c| (((r * 7 + c * 3) % 11) as f32 - 5.0) * 0.5);
+        let got = matmul_rows_range_par(&a, &b, (20, 36));
+        let expect = a.matmul(&b.row_slice(20, 36));
+        assert_eq!(got.shape(), expect.shape());
+        for (g, e) in got.as_slice().iter().zip(expect.as_slice().iter()) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn rows_range_into_reuses_and_reshapes_the_output() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r + c) as f32 * 0.5);
+        let b = Matrix::from_fn(10, 3, |r, c| (r * c % 7) as f32 - 3.0);
+        let mut out = Matrix::from_fn(50, 50, |_, _| f32::NAN);
+        matmul_rows_range_into(&a, &b, (2, 6), &mut out);
+        assert_eq!(out.shape(), (6, 3));
+        let expect = a.matmul(&b.row_slice(2, 6));
+        assert!(out.max_abs_diff(&expect) == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn rows_range_rejects_bad_range() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        matmul_rows_range_par(&a, &b, (2, 5));
     }
 }

@@ -38,6 +38,10 @@ fn serial_vs_forced<R>(
     set_thread_override(Some(threads));
     let f = forced();
     set_thread_override(None);
+    // Drop the persistent worker pool while the override lock is still
+    // held: under Miri leaked threads at process exit are an error, and
+    // natively the respawn-on-next-use path gets exercised for free.
+    adr_tensor::kernels::pool::shutdown_pool();
     (s, f)
 }
 
@@ -66,6 +70,40 @@ fn matmul_par_thread_count_beyond_rows_is_bitwise_serial() {
     let a = Matrix::from_fn(3, 6, |r, c| ((r * 7 + c) % 9) as f32 - 4.0);
     let b = Matrix::from_fn(6, 5, |r, c| ((r + c * 4) % 7) as f32 - 3.0);
     let (serial, forced) = serial_vs_forced(8, || a.matmul(&b), || matmul_par(&a, &b));
+    assert_eq!(serial.as_slice(), forced.as_slice());
+}
+
+#[test]
+fn pool_survives_many_fanouts_and_a_shutdown() {
+    // The persistent pool must give identical answers on its first use,
+    // on a reused warm pool, and on the respawned pool after an explicit
+    // shutdown — the pool is an execution resource, never state.
+    let a = Matrix::from_fn(6, 7, |r, c| (((r * 17 + c * 3) % 19) as f32 - 9.0) * 0.5);
+    let b = Matrix::from_fn(7, 3, |r, c| (((r * 5 + c * 2) % 11) as f32 - 5.0) * 0.25);
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    set_thread_override(None);
+    let reference = a.matmul(&b);
+    set_thread_override(Some(3));
+    let cold = matmul_par(&a, &b);
+    let warm = matmul_par(&a, &b);
+    adr_tensor::kernels::pool::shutdown_pool();
+    let respawned = matmul_par(&a, &b);
+    set_thread_override(None);
+    adr_tensor::kernels::pool::shutdown_pool();
+    assert_eq!(cold.as_slice(), reference.as_slice());
+    assert_eq!(warm.as_slice(), reference.as_slice());
+    assert_eq!(respawned.as_slice(), reference.as_slice());
+}
+
+#[test]
+fn matmul_rows_range_par_forced_parallel_is_bitwise_row_slice() {
+    let a = Matrix::from_fn(5, 4, |r, c| (((r * 7 + c * 13) % 15) as f32 - 7.0) * 0.25);
+    let b = Matrix::from_fn(9, 6, |r, c| (((r * 11 + c) % 17) as f32 - 8.0) * 0.125);
+    let (serial, forced) = serial_vs_forced(
+        2,
+        || a.matmul(&b.row_slice(3, 7)),
+        || adr_tensor::par::matmul_rows_range_par(&a, &b, (3, 7)),
+    );
     assert_eq!(serial.as_slice(), forced.as_slice());
 }
 
